@@ -1,0 +1,60 @@
+"""Future-work ablation: OTDM multi-channel rings (Section 4).
+
+The paper argues its ring capacity assumptions are conservative because
+OTDM "will potentially support 5000 channels".  This bench grows the
+channel count (channels per node) at fixed per-channel storage and
+measures how the extra parallel write bandwidth + capacity pays off on
+a swap-heavy workload."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.report import render_table
+from repro.core.runner import (
+    BEST_MIN_FREE,
+    experiment_config,
+    run_experiment,
+    scaled_min_free,
+)
+
+APP = "radix"  # bursty machine-wide scattered writes
+
+
+def run_sweep():
+    base = experiment_config(SCALE)
+    mf = scaled_min_free(
+        BEST_MIN_FREE[("nwcache", "optimal")], SCALE, base.frames_per_node
+    )
+    std = run_experiment(APP, "standard", "optimal", data_scale=SCALE)
+    out = {"standard": std}
+    for per_node in (1, 2, 4, 8):
+        cfg = base.replace(
+            ring_channels=per_node * base.n_nodes, min_free_frames=mf
+        )
+        out[f"{per_node} ch/node"] = run_experiment(
+            APP, "nwcache", "optimal", cfg=cfg, data_scale=SCALE,
+            min_free=BEST_MIN_FREE[("nwcache", "optimal")],
+        )
+    return out
+
+
+def test_otdm_channel_sweep(benchmark):
+    out = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    std = out["standard"]
+    rows = [
+        [
+            name,
+            f"{res.exec_time / 1e6:.1f}",
+            f"{res.speedup_vs(std) * 100:.0f}%",
+            f"{res.swapout_mean / 1e3:.0f}K",
+            f"{res.ring_hit_rate * 100:.1f}%",
+        ]
+        for name, res in out.items()
+    ]
+    text = render_table(
+        f"OTDM channel-count sweep ({APP}, optimal prefetching)",
+        ["variant", "exec Mpc", "improv", "swap-out", "hit rate"],
+        rows,
+    )
+    emit("ablation_otdm", text + f"\n(simulated at {SCALE:.0%} scale)")
+    # more channels can only lower channel-full swap-out waiting
+    assert out["8 ch/node"].swapout_mean <= out["1 ch/node"].swapout_mean * 1.2
+    assert out["1 ch/node"].speedup_vs(std) > 0

@@ -1,0 +1,80 @@
+"""Design ablations on the NWCache itself (DESIGN.md §4, last row).
+
+Three knobs the paper fixes that we can vary:
+
+* **victim caching off** — the ring becomes a pure write-staging buffer;
+  quantifies how much of the win is fast swap-outs vs victim reads.
+* **drain policy** — most-loaded channel (paper) vs round-robin.
+* **ring capacity** — delay-line length (slots per channel).
+"""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.report import render_table
+from repro.core.runner import (
+    BEST_MIN_FREE,
+    experiment_config,
+    run_experiment,
+    scaled_min_free,
+)
+
+APP = "gauss"  # highest victim-cache sensitivity in the paper
+
+
+def _nwc_cfg(**overrides):
+    cfg = experiment_config(SCALE)
+    mf = scaled_min_free(
+        BEST_MIN_FREE[("nwcache", "optimal")], SCALE, cfg.frames_per_node
+    )
+    return cfg.replace(min_free_frames=mf, **overrides)
+
+
+def run_ablations():
+    out = {}
+    out["standard"] = run_experiment(APP, "standard", "optimal", data_scale=SCALE)
+    out["nwcache"] = run_experiment(APP, "nwcache", "optimal", data_scale=SCALE)
+    out["no-victim"] = run_experiment(
+        APP, "nwcache", "optimal",
+        cfg=_nwc_cfg(victim_caching=False), data_scale=SCALE,
+        min_free=BEST_MIN_FREE[("nwcache", "optimal")],
+    )
+    out["round-robin"] = run_experiment(
+        APP, "nwcache", "optimal", cfg=_nwc_cfg(), data_scale=SCALE,
+        min_free=BEST_MIN_FREE[("nwcache", "optimal")],
+        drain_policy="round-robin",
+    )
+    base = experiment_config(SCALE)
+    for slots, label in ((2, "ring/4"), (base.ring_slots_per_channel * 2, "ring*2")):
+        out[label] = run_experiment(
+            APP, "nwcache", "optimal",
+            cfg=_nwc_cfg(ring_channel_bytes=slots * base.page_size), data_scale=SCALE,
+            min_free=BEST_MIN_FREE[("nwcache", "optimal")],
+        )
+    return out
+
+
+def test_ring_ablations(benchmark):
+    out = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    std = out["standard"]
+    rows = [
+        [
+            name,
+            f"{res.exec_time / 1e6:.1f}",
+            f"{res.speedup_vs(std) * 100:.0f}%",
+            f"{res.ring_hit_rate * 100:.1f}%",
+            f"{res.swapout_mean / 1e3:.0f}K",
+            f"{res.combining.mean:.2f}",
+        ]
+        for name, res in out.items()
+    ]
+    text = render_table(
+        f"NWCache design ablations ({APP}, optimal prefetching)",
+        ["variant", "exec Mpc", "improv", "hit rate", "swap-out", "combining"],
+        rows,
+    )
+    emit("ablation_ring", text + f"\n(simulated at {SCALE:.0%} scale)")
+    # victim caching accounts for a real share of the win on gauss
+    assert out["no-victim"].ring_hit_rate == 0.0
+    assert out["nwcache"].ring_hit_rate > 0.05
+    assert out["nwcache"].exec_time <= out["no-victim"].exec_time * 1.05
+    # both drain policies beat the standard machine
+    assert out["round-robin"].speedup_vs(std) > 0

@@ -1,0 +1,29 @@
+"""Figure 3: normalized execution-time breakdown, optimal prefetching.
+
+Paper shape: NoFree (free-frame stalls) is always significant on the
+standard machine — especially Gauss and SOR — and nearly disappears
+with the NWCache; overall improvements average ~41% (23-64%)."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.paper_data import APP_ORDER
+from repro.core.report import figure_breakdown, improvement_summary
+
+
+def test_fig3_breakdown_optimal(benchmark, sim_cache):
+    pairs = benchmark.pedantic(
+        lambda: sim_cache.pairs("optimal"), rounds=1, iterations=1
+    )
+    text = figure_breakdown(pairs, "optimal")
+    emit("fig3_breakdown_optimal", text + f"\n(simulated at {SCALE:.0%} scale)")
+    imp = improvement_summary(pairs, "optimal")
+    # every app improves under optimal prefetching
+    for app in APP_ORDER:
+        assert imp[app] > 0, (app, imp[app])
+    # NoFree shrinks dramatically machine-wide
+    nofree_std = sum(pairs[a][0].breakdown["nofree"] for a in APP_ORDER)
+    nofree_nwc = sum(pairs[a][1].breakdown["nofree"] for a in APP_ORDER)
+    assert nofree_nwc < 0.5 * nofree_std
+    # each machine's categories sum to its mean execution time
+    for app in APP_ORDER:
+        for res in pairs[app]:
+            assert abs(sum(res.breakdown.values()) - res.exec_time) / res.exec_time < 0.25

@@ -1,0 +1,47 @@
+"""Figure 4: normalized execution-time breakdown, naive prefetching.
+
+Paper shape: page-fault latency dominates both machines (disk-cache hit
+rates are poor), NoFree times almost vanish for the standard machine,
+and the NWCache's improvements shrink (-3% to 42%, Gauss best,
+FFT/Radix marginal)."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.paper_data import APP_ORDER
+from repro.core.report import figure_breakdown, improvement_summary
+
+
+def test_fig4_breakdown_naive(benchmark, sim_cache):
+    pairs = benchmark.pedantic(
+        lambda: sim_cache.pairs("naive"), rounds=1, iterations=1
+    )
+    text = figure_breakdown(pairs, "naive")
+    emit("fig4_breakdown_naive", text + f"\n(simulated at {SCALE:.0%} scale)")
+    imp = improvement_summary(pairs, "naive")
+    # improvements are much smaller than under optimal prefetching and
+    # no application regresses badly
+    for app in APP_ORDER:
+        assert imp[app] > -10, (app, imp[app])
+    # fault time dominates the standard machine under naive prefetching
+    for app in APP_ORDER:
+        std = pairs[app][0]
+        frac = std.breakdown["fault"] / sum(std.breakdown.values())
+        assert frac > 0.15, (app, frac)
+    # NoFree times almost vanish for the standard machine (paper text)
+    nofree = sum(
+        pairs[a][0].breakdown["nofree"] / sum(pairs[a][0].breakdown.values())
+        for a in APP_ORDER
+    ) / len(APP_ORDER)
+    assert nofree < 0.35
+
+
+def test_naive_improvements_below_optimal(benchmark, sim_cache):
+    def both():
+        return (
+            improvement_summary(sim_cache.pairs("optimal"), "optimal"),
+            improvement_summary(sim_cache.pairs("naive"), "naive"),
+        )
+
+    opt, naive = benchmark.pedantic(both, rounds=1, iterations=1)
+    mean_opt = sum(opt.values()) / len(opt)
+    mean_naive = sum(naive.values()) / len(naive)
+    assert mean_naive < mean_opt

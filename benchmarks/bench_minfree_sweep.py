@@ -1,0 +1,61 @@
+"""Section 5 preamble: the minimum-free-frames sweep.
+
+The paper sweeps the minimum number of free page frames per node and
+reports that the NWCache machine is insensitive (best at just 2 frames
+regardless of prefetching) while the standard machine needs many more
+under optimal prefetching (12) than under naive (4).  This ablation
+regenerates the sweep for a swap-heavy application."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.report import render_table
+from repro.core.runner import experiment_config, run_experiment
+
+APP = "sor"
+MIN_FREE_VALUES = (2, 4, 8, 12, 16)
+
+
+def run_sweep():
+    results = {}
+    for system in ("standard", "nwcache"):
+        for prefetch in ("optimal", "naive"):
+            for mf in MIN_FREE_VALUES:
+                res = run_experiment(
+                    APP, system, prefetch, data_scale=SCALE, min_free=mf
+                )
+                results[(system, prefetch, mf)] = res.exec_time
+    return results
+
+
+def test_minfree_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for system in ("standard", "nwcache"):
+        for prefetch in ("optimal", "naive"):
+            times = {mf: results[(system, prefetch, mf)] for mf in MIN_FREE_VALUES}
+            best = min(times, key=times.get)
+            rows.append(
+                [system, prefetch]
+                + [f"{times[mf] / 1e6:.1f}" for mf in MIN_FREE_VALUES]
+                + [str(best)]
+            )
+    text = render_table(
+        f"Min-free-frames sweep ({APP}, exec Mpcycles; paper-scale settings "
+        f"{MIN_FREE_VALUES})",
+        ["system", "prefetch"] + [f"mf={m}" for m in MIN_FREE_VALUES] + ["best"],
+        rows,
+    )
+    emit("minfree_sweep", text + f"\n(simulated at {SCALE:.0%} scale)")
+    # Shape 1: under optimal prefetching the NWCache machine's best
+    # setting is the paper's tiny value (2), while the standard machine
+    # keeps improving with more reserved frames.
+    nwc_opt = {mf: results[("nwcache", "optimal", mf)] for mf in MIN_FREE_VALUES}
+    assert min(nwc_opt, key=nwc_opt.get) <= 4
+    std_opt = {mf: results[("standard", "optimal", mf)] for mf in MIN_FREE_VALUES}
+    assert min(std_opt, key=std_opt.get) >= 8
+    # Shape 2: the NWCache machine is *insensitive* to the setting — its
+    # small-value performance is within ~15% of its best even under naive
+    # prefetching (the paper notes SOR is the one app that likes more
+    # frames under naive).
+    for prefetch in ("optimal", "naive"):
+        times = {mf: results[("nwcache", prefetch, mf)] for mf in MIN_FREE_VALUES}
+        assert times[2] <= 1.15 * min(times.values()), prefetch

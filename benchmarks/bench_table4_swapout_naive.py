@@ -1,0 +1,18 @@
+"""Table 4: average swap-out times under naive prefetching.
+
+Paper shape: swap-out times are much lower than under optimal
+prefetching (slow page faults give swap-outs time to complete), and the
+NWCache still wins by a wide margin for every application."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.report import table_swapout
+
+
+def test_table4_swapout_naive(benchmark, sim_cache):
+    pairs = benchmark.pedantic(
+        lambda: sim_cache.pairs("naive"), rounds=1, iterations=1
+    )
+    text = table_swapout(pairs, "naive")
+    emit("table4_swapout_naive", text + f"\n(simulated at {SCALE:.0%} scale)")
+    for app, (std, nwc) in pairs.items():
+        assert std.swapout_mean / nwc.swapout_mean > 2, app

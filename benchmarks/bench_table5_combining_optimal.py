@@ -1,0 +1,25 @@
+"""Table 5: average write combining under optimal prefetching.
+
+Paper shape: the NWCache's in-order, channel-at-a-time drain increases
+the number of swap-outs combined per disk write; gains are largest when
+swap-outs cluster (optimal prefetching), with SOR the standout."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.paper_data import APP_ORDER
+from repro.core.report import table_combining
+
+
+def test_table5_combining_optimal(benchmark, sim_cache):
+    pairs = benchmark.pedantic(
+        lambda: sim_cache.pairs("optimal"), rounds=1, iterations=1
+    )
+    text = table_combining(pairs, "optimal")
+    emit("table5_combining_optimal", text + f"\n(simulated at {SCALE:.0%} scale)")
+    for app in APP_ORDER:
+        std, nwc = pairs[app]
+        assert 1.0 <= std.combining.mean <= std.cfg.disk_cache_pages, app
+        assert 1.0 <= nwc.combining.mean <= nwc.cfg.disk_cache_pages, app
+    # on average the NWCache combines at least as well as the standard MP
+    mean_std = sum(pairs[a][0].combining.mean for a in APP_ORDER) / len(APP_ORDER)
+    mean_nwc = sum(pairs[a][1].combining.mean for a in APP_ORDER) / len(APP_ORDER)
+    assert mean_nwc >= mean_std * 0.95

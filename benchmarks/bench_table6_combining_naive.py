@@ -1,0 +1,39 @@
+"""Table 6: average write combining under naive prefetching.
+
+Paper shape: combining increases are only moderate under naive
+prefetching (swap-outs are spread out in time, so consecutive pages
+rarely meet in the controller cache)."""
+
+from benchmarks.conftest import SCALE, emit
+from repro.core.paper_data import APP_ORDER
+from repro.core.report import table_combining
+
+
+def test_table6_combining_naive(benchmark, sim_cache):
+    pairs = benchmark.pedantic(
+        lambda: sim_cache.pairs("naive"), rounds=1, iterations=1
+    )
+    text = table_combining(pairs, "naive")
+    emit("table6_combining_naive", text + f"\n(simulated at {SCALE:.0%} scale)")
+    for app in APP_ORDER:
+        std, nwc = pairs[app]
+        assert 1.0 <= std.combining.mean <= std.cfg.disk_cache_pages, app
+        assert 1.0 <= nwc.combining.mean <= nwc.cfg.disk_cache_pages, app
+
+
+def test_combining_increase_is_smaller_under_naive(benchmark, sim_cache):
+    """Cross-table shape: naive combining gains < optimal combining gains."""
+
+    def both():
+        return sim_cache.pairs("optimal"), sim_cache.pairs("naive")
+
+    optimal, naive = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    def mean_gain(pairs):
+        gains = [
+            pairs[a][1].combining.mean - pairs[a][0].combining.mean
+            for a in APP_ORDER
+        ]
+        return sum(gains) / len(gains)
+
+    assert mean_gain(naive) <= mean_gain(optimal) + 0.15

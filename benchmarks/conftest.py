@@ -1,0 +1,65 @@
+"""Shared benchmark infrastructure.
+
+Every paper table/figure has a ``bench_*`` module here.  Benchmarks run
+the evaluation at ``NWCACHE_BENCH_SCALE`` of the paper's data size
+(default 0.2 so the whole suite finishes in a couple of minutes; set it
+to 1.0 to regenerate the full-size numbers recorded in EXPERIMENTS.md).
+
+The (app, system, prefetch) simulation results are cached per pytest
+session because several tables report different statistics of the same
+runs — the first benchmark needing a batch pays for it.  Rendered
+tables are printed and also written to ``benchmarks/output/``.
+"""
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.apps import APP_NAMES
+from repro.core.machine import RunResult
+from repro.core.runner import run_experiment
+
+#: fraction of the paper's data size the benches simulate
+SCALE = float(os.environ.get("NWCACHE_BENCH_SCALE", "0.2"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+class SimCache:
+    """Session-wide cache of simulation runs."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple[str, str, str], RunResult] = {}
+
+    def run(self, app: str, system: str, prefetch: str) -> RunResult:
+        key = (app, system, prefetch)
+        if key not in self._runs:
+            self._runs[key] = run_experiment(
+                app, system, prefetch, data_scale=SCALE
+            )
+        return self._runs[key]
+
+    def pairs(self, prefetch: str) -> Dict[str, Tuple[RunResult, RunResult]]:
+        """(standard, nwcache) result pairs for every Table 2 app."""
+        return {
+            app: (
+                self.run(app, "standard", prefetch),
+                self.run(app, "nwcache", prefetch),
+            )
+            for app in APP_NAMES
+        }
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimCache:
+    return SimCache()
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Driving the simulator with your own workload.
+
+The public API accepts any :class:`repro.apps.base.Workload`: implement
+``total_pages`` and ``streams`` and the machine will fault, swap, and
+account for it like any Table 2 application.  This example builds a
+producer/consumer pipeline workload — half the processors write a large
+shared buffer, the other half read it one phase later — a pattern with
+heavy cross-node victim-cache potential that is *not* in the paper.
+
+Usage:
+    python examples/custom_workload.py
+"""
+
+from typing import List
+
+from repro import SimConfig, Machine
+from repro.apps.base import Stream, Workload, barrier, visit
+
+
+class PipelineWorkload(Workload):
+    """Producers fill a buffer each phase; consumers read it next phase."""
+
+    name = "pipeline"
+
+    def __init__(self, buffer_pages: int = 96, phases: int = 6,
+                 page_size: int = 4096) -> None:
+        super().__init__(page_size)
+        self.buffer_pages = buffer_pages
+        self.phases = phases
+
+    @property
+    def total_pages(self) -> int:
+        return self.buffer_pages
+
+    def streams(self, n_nodes: int, page_base: int, rng) -> List[Stream]:
+        producers = range(n_nodes // 2)
+        return [
+            self._produce(n_nodes, n, page_base)
+            if n in producers
+            else self._consume(n_nodes, n, page_base)
+            for n in range(n_nodes)
+        ]
+
+    def _produce(self, n_nodes: int, node: int, base: int) -> Stream:
+        n_prod = n_nodes // 2
+        elems = self.page_size // 8
+        for phase in range(self.phases):
+            for p in range(node, self.buffer_pages, n_prod):
+                yield visit(base + p, 0, elems, elems * 2.0)
+            yield barrier(("phase", phase))
+
+    def _consume(self, n_nodes: int, node: int, base: int) -> Stream:
+        n_cons = n_nodes - n_nodes // 2
+        lane = node - n_nodes // 2
+        elems = self.page_size // 8
+        for phase in range(self.phases):
+            for p in range(lane, self.buffer_pages, n_cons):
+                yield visit(base + p, elems, 0, elems * 1.0)
+            yield barrier(("phase", phase))
+
+
+def main() -> None:
+    cfg = SimConfig.small()  # 4 nodes, 32 frames each
+    wl = PipelineWorkload(buffer_pages=3 * cfg.total_frames // 2)
+    print(f"pipeline workload: {wl.total_pages} pages on a "
+          f"{cfg.n_nodes}-node machine with {cfg.total_frames} frames\n")
+    for system in ("standard", "nwcache"):
+        machine = Machine(cfg, system=system, prefetch="optimal")
+        res = machine.run(PipelineWorkload(buffer_pages=wl.total_pages))
+        print(
+            f"{system:9s} exec={res.exec_time / 1e6:8.2f} Mpcycles  "
+            f"swap-out={res.swapout_mean / 1e3:8.1f} Kpcycles  "
+            f"victim hits={res.metrics.counts['ring_hits']:4d} "
+            f"({res.ring_hit_rate * 100:.1f}% of reads)"
+        )
+    print(
+        "\nThe producers' dirty buffer pages are evicted just before the\n"
+        "consumers read them — on the NWCache machine many are snooped\n"
+        "straight off the optical ring instead of being fetched from disk."
+    )
+
+
+if __name__ == "__main__":
+    main()

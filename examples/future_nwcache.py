@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The NWCache the paper predicted: OTDM channels + realistic prefetching.
+
+Section 4 argues the ring capacity assumptions are conservative ("OTDM
+... will potentially support 5000 channels") and the Discussion expects
+both better prefetching and better optics to widen the NWCache's lead.
+This example runs that future: a stream-detecting prefetcher (instead of
+the naive extreme) combined with 1x, 4x, and 16x the paper's channel
+count, against the standard machine with the same prefetcher.
+
+Usage:
+    python examples/future_nwcache.py [app] [data_scale]
+"""
+
+import sys
+
+from repro import run_experiment
+from repro.core.runner import (
+    BEST_MIN_FREE,
+    experiment_config,
+    scaled_min_free,
+)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "radix"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    print(f"{app} with stream prefetching at {scale:.0%} scale\n")
+    std = run_experiment(app, "standard", "stream", data_scale=scale)
+    print(f"standard machine            : {std.exec_time / 1e6:9.1f} Mpcycles")
+
+    base = experiment_config(scale)
+    mf = scaled_min_free(
+        BEST_MIN_FREE[("nwcache", "stream")], scale, base.frames_per_node
+    )
+    for mult in (1, 4, 16):
+        cfg = base.replace(
+            ring_channels=mult * base.n_nodes, min_free_frames=mf
+        )
+        nwc = run_experiment(
+            app, "nwcache", "stream", cfg=cfg, data_scale=scale,
+            min_free=BEST_MIN_FREE[("nwcache", "stream")],
+        )
+        label = f"NWCache, {mult:2d} ch/node"
+        print(
+            f"{label:28s}: {nwc.exec_time / 1e6:9.1f} Mpcycles  "
+            f"(+{nwc.speedup_vs(std) * 100:.0f}% vs standard, "
+            f"swap-out {nwc.swapout_mean / 1e3:.0f}K, "
+            f"victim hits {nwc.ring_hit_rate:.0%})"
+        )
+    print(
+        "\nReading: with realistic prefetching the NWCache still wins, and\n"
+        "extra OTDM channels shrink channel-full waits toward zero — the\n"
+        "paper's 'greater gains as optical technology develops'."
+    )
+
+
+if __name__ == "__main__":
+    main()

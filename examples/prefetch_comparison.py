@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Prefetching comparison: the paper's two extremes, side by side.
+
+Section 5 shows the NWCache's benefit depends strongly on the
+prefetching technique: under *optimal* prefetching (every read hits the
+disk controller cache) page reads are fast, swap-outs cluster, and the
+standard machine drowns in NoFree stalls the NWCache eliminates; under
+*naive* prefetching page-fault latencies dominate and give swap-outs
+time to complete, so the NWCache's win shifts to victim caching and
+contention relief.
+
+This example runs one application under both prefetchers on both
+machines and prints the Figure 3/4-style breakdowns next to each other.
+
+Usage:
+    python examples/prefetch_comparison.py [app] [data_scale]
+"""
+
+import sys
+
+from repro import run_pair
+from repro.apps import APP_NAMES
+from repro.core.report import figure_breakdown, table_swapout
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "gauss"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    if app not in APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}; choose from {APP_NAMES}")
+
+    for prefetch in ("optimal", "naive"):
+        print(f"\nRunning {app} under {prefetch} prefetching ...")
+        pairs = {app: run_pair(app, prefetch=prefetch, data_scale=scale)}
+        print()
+        print(table_swapout(pairs, prefetch))
+        print()
+        print(figure_breakdown(pairs, prefetch))
+
+    print(
+        "\nReading: under optimal prefetching the standard machine's bar is\n"
+        "dominated by NoFree (frame-stall) time that the NWCache's fast\n"
+        "swap-outs remove; under naive prefetching both machines are\n"
+        "fault-bound and the NWCache's edge comes from victim caching and\n"
+        "reduced memory-system contention."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: compare a standard and an NWCache machine on one workload.
+
+Runs the paper's SOR application (scaled to 25% of the Table 2 input so
+it finishes in seconds) on both machines under optimal prefetching and
+prints the headline numbers: swap-out time (Table 3's metric), victim
+hit rate (Table 7), and the execution-time breakdown (Figure 3).
+
+Usage:
+    python examples/quickstart.py [app] [data_scale]
+"""
+
+import sys
+
+from repro import run_pair
+from repro.apps import APP_NAMES
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "sor"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    if app not in APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}; choose from {APP_NAMES}")
+
+    print(f"Running {app} at {scale:.0%} of the paper's data size ...")
+    std, nwc = run_pair(app, prefetch="optimal", data_scale=scale)
+
+    print(f"\n=== {app} under optimal prefetching ===")
+    print(f"execution time  standard: {std.exec_time / 1e6:10.2f} Mpcycles")
+    print(f"                nwcache : {nwc.exec_time / 1e6:10.2f} Mpcycles")
+    print(f"improvement             : {nwc.speedup_vs(std) * 100:10.1f} %")
+    print(f"avg swap-out    standard: {std.swapout_mean / 1e3:10.1f} Kpcycles")
+    print(f"                nwcache : {nwc.swapout_mean / 1e3:10.1f} Kpcycles")
+    ratio = std.swapout_mean / nwc.swapout_mean if nwc.swapout_mean else float("inf")
+    print(f"swap-out speedup        : {ratio:10.1f} x")
+    print(f"NWCache victim hit rate : {nwc.ring_hit_rate * 100:10.1f} %")
+
+    print("\nexecution-time breakdown (fraction of the standard machine's total):")
+    base = sum(std.breakdown.values())
+    header = "  ".join(f"{c:>8s}" for c in std.breakdown)
+    print(f"            {header}")
+    for label, res in (("standard", std), ("nwcache", nwc)):
+        row = "  ".join(f"{res.breakdown[c] / base:8.3f}" for c in std.breakdown)
+        print(f"  {label:9s} {row}")
+
+
+if __name__ == "__main__":
+    main()

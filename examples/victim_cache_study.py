@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Victim-caching study: how ring capacity drives NWCache hit rates.
+
+Section 5 of the paper ties victim-cache hit rates (Table 7) to whether
+an application's working set fits in combined memory + NWCache.  This
+example sweeps the optical ring's per-channel storage (i.e. fiber
+length) for a high-sharing workload (gauss) and a streaming workload
+(sor) and prints the hit rate and overall improvement at each point —
+showing the capacity regime where the ring starts acting as an
+effective second-level page store.
+
+Usage:
+    python examples/victim_cache_study.py [data_scale]
+"""
+
+import sys
+
+from repro import experiment_config, run_experiment
+from repro.core.runner import BEST_MIN_FREE, scaled_min_free
+
+
+def sweep(app: str, data_scale: float, slot_counts) -> None:
+    print(f"\n=== {app}: ring capacity sweep (optimal prefetching) ===")
+    print(f"{'slots/chan':>10s} {'ring KB':>8s} {'hit rate':>9s} "
+          f"{'swap-out K':>11s} {'improvement':>12s}")
+    base_cfg = experiment_config(data_scale)
+    std = run_experiment(app, "standard", "optimal", data_scale=data_scale)
+    for slots in slot_counts:
+        cfg = base_cfg.replace(
+            ring_channel_bytes=slots * base_cfg.page_size,
+            min_free_frames=scaled_min_free(
+                BEST_MIN_FREE[("nwcache", "optimal")],
+                data_scale,
+                base_cfg.frames_per_node,
+            ),
+        )
+        nwc = run_experiment(app, "nwcache", "optimal", cfg=cfg, data_scale=data_scale,
+                             min_free=BEST_MIN_FREE[("nwcache", "optimal")])
+        ring_kb = slots * cfg.page_size * cfg.ring_channels // 1024
+        print(
+            f"{slots:>10d} {ring_kb:>8d} {nwc.ring_hit_rate * 100:>8.1f}% "
+            f"{nwc.swapout_mean / 1e3:>11.1f} "
+            f"{nwc.speedup_vs(std) * 100:>11.1f}%"
+        )
+
+
+def main() -> None:
+    data_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    slot_counts = (1, 2, 4, 8, 16)
+    sweep("gauss", data_scale, slot_counts)   # high sharing, near-fitting
+    sweep("sor", data_scale, slot_counts)     # pure streaming
+    print(
+        "\nReading: the high-sharing workload converts ring storage into\n"
+        "victim hits sooner (its reuse distances are short); the streaming\n"
+        "workload needs proportionally more fiber before its evicted pages\n"
+        "survive on the ring until the next sweep. Both saturate once the\n"
+        "ring approaches the working-set overflow."
+    )
+
+
+if __name__ == "__main__":
+    main()

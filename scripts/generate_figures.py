@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Render Figures 3 and 4 as SVG files.
+
+Usage:
+    python scripts/generate_figures.py [--scale 0.25] [--outdir figures/]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.apps import APP_NAMES
+from repro.core.runner import run_pair
+from repro.core.svg import figure_svg
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.25)
+    ap.add_argument("--outdir", type=Path, default=Path("figures"))
+    args = ap.parse_args()
+    args.outdir.mkdir(exist_ok=True)
+    for prefetch, fno in (("optimal", 3), ("naive", 4)):
+        pairs = {}
+        for app in APP_NAMES:
+            print(f"  {app} ({prefetch}) ...", file=sys.stderr)
+            pairs[app] = run_pair(app, prefetch=prefetch, data_scale=args.scale)
+        out = args.outdir / f"figure{fno}_{prefetch}.svg"
+        out.write_text(figure_svg(pairs, prefetch))
+        print(f"wrote {out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

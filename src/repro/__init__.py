@@ -1,0 +1,51 @@
+"""NWCache reproduction: an optical network/write-cache hybrid simulator.
+
+Reproduces *"NWCache: Optimizing Disk Accesses via an Optical
+Network/Write Cache Hybrid"* (Carrera & Bianchini, IPPS 1999): an
+execution-driven, event-based simulation of an 8-node CC-NUMA
+multiprocessor whose page swap-outs are optimized by storing them on a
+WDM optical ring that doubles as a system-wide write cache.
+
+Quickstart
+----------
+>>> from repro import run_pair
+>>> std, nwc = run_pair("sor", prefetch="optimal", data_scale=0.1)
+>>> nwc.swapout_mean < std.swapout_mean
+True
+
+See README.md for the architecture overview, ``examples/`` for runnable
+scenarios, and ``benchmarks/`` for the scripts regenerating every table
+and figure in the paper's evaluation.
+"""
+
+from repro.apps import APP_NAMES, make_app
+from repro.config import SimConfig
+from repro.core import (
+    BEST_MIN_FREE,
+    Machine,
+    RunResult,
+    SYSTEM_NWCACHE,
+    SYSTEM_STANDARD,
+    experiment_config,
+    run_experiment,
+    run_pair,
+)
+from repro.metrics import Metrics
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "APP_NAMES",
+    "BEST_MIN_FREE",
+    "Machine",
+    "Metrics",
+    "RunResult",
+    "SYSTEM_NWCACHE",
+    "SYSTEM_STANDARD",
+    "SimConfig",
+    "__version__",
+    "experiment_config",
+    "make_app",
+    "run_experiment",
+    "run_pair",
+]

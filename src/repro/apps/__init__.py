@@ -1,0 +1,80 @@
+"""The paper's application workload (Table 2).
+
+Seven out-of-core parallel programs, each implemented as a deterministic
+page-reference driver (see :mod:`repro.apps.base` for the substitution
+rationale):
+
+========  ==========================================  ==================
+name      description                                 Table 2 input
+========  ==========================================  ==================
+em3d      electromagnetic wave propagation            32K nodes, 5% remote, 10 iters
+fft       1D fast Fourier transform                   64K points
+gauss     unblocked Gaussian elimination              570 x 512 doubles
+lu        blocked LU factorization                    576 x 576 doubles
+mg        3D Poisson multigrid solver                 32 x 32 x 64, 10 iters
+radix     integer radix sort                          320K keys, radix 1024
+sor       successive over-relaxation                  640 x 512 floats, 10 iters
+========  ==========================================  ==================
+
+Use :func:`make_app` to instantiate by name, optionally scaled down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.apps.base import Workload
+from repro.apps.em3d import Em3d
+from repro.apps.fft import Fft
+from repro.apps.gauss import Gauss
+from repro.apps.lu import Lu
+from repro.apps.mg import Mg
+from repro.apps.radix import Radix
+from repro.apps.sor import Sor
+
+#: application registry, in the paper's (alphabetical) table order
+APP_CLASSES: Dict[str, Callable[..., Workload]] = {
+    "em3d": Em3d,
+    "fft": Fft,
+    "gauss": Gauss,
+    "lu": Lu,
+    "mg": Mg,
+    "radix": Radix,
+    "sor": Sor,
+}
+
+APP_NAMES: List[str] = list(APP_CLASSES)
+
+
+def make_app(name: str, scale: float = 1.0, **params: Any) -> Workload:
+    """Instantiate a Table 2 application by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`APP_NAMES`.
+    scale:
+        Linear problem-size scale; 1.0 reproduces the Table 2 input.
+    params:
+        Extra keyword arguments forwarded to the workload constructor.
+    """
+    try:
+        cls = APP_CLASSES[name]
+    except KeyError:
+        raise ValueError(f"unknown application {name!r}; know {APP_NAMES}") from None
+    return cls(scale=scale, **params)
+
+
+__all__ = [
+    "APP_CLASSES",
+    "APP_NAMES",
+    "Em3d",
+    "Fft",
+    "Gauss",
+    "Lu",
+    "Mg",
+    "Radix",
+    "Sor",
+    "Workload",
+    "make_app",
+]

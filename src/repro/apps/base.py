@@ -1,0 +1,112 @@
+"""Workload driver protocol and shared helpers.
+
+The paper drives its simulator with MINT executing real binaries; per
+DESIGN.md we substitute *application kernel drivers*: each of the seven
+Table 2 programs is implemented as a driver that walks the real
+algorithm's loop structure over the real data layout and emits, per
+processor, a stream of page-granularity items:
+
+* ``("visit", page, n_reads, n_writes, think_cycles)``
+* ``("barrier", key)``
+
+Pages are numbered within the application's own address space (0-based);
+the machine relocates them to file pages at load time.  All drivers are
+deterministic given their RNG streams, partition work across
+``n_nodes`` processors the way the original programs do, and separate
+phases with barriers, which is what produces the paper's bursty
+swap-out clustering.
+
+Data sizes follow Table 2; every driver accepts a ``scale`` factor
+(default 1.0 = paper inputs) that shrinks the problem for tests and
+benchmarks while preserving the access pattern.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+Item = Tuple[Any, ...]
+Stream = Iterator[Item]
+
+
+def visit(page: int, n_reads: int, n_writes: int, think: float = 0.0) -> Item:
+    """Build a visit item (defensive checks in one place)."""
+    if page < 0:
+        raise ValueError(f"negative page {page}")
+    if n_reads < 0 or n_writes < 0:
+        raise ValueError("negative access counts")
+    return ("visit", page, n_reads, n_writes, think)
+
+
+def barrier(key: Any) -> Item:
+    """Build a barrier item."""
+    return ("barrier", key)
+
+
+def block_range(n_items: int, n_parts: int, part: int) -> range:
+    """Contiguous block partition: items owned by ``part`` of ``n_parts``."""
+    if not (0 <= part < n_parts):
+        raise ValueError(f"part {part} out of range")
+    base, extra = divmod(n_items, n_parts)
+    lo = part * base + min(part, extra)
+    hi = lo + base + (1 if part < extra else 0)
+    return range(lo, hi)
+
+
+def scaled_dim(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a linear problem dimension, keeping it at least ``minimum``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(value * scale)))
+
+
+class Workload(abc.ABC):
+    """Base class for the Table 2 applications."""
+
+    #: short name, e.g. "sor" (set by subclasses)
+    name: str = ""
+
+    def __init__(self, page_size: int = 4096, scale: float = 1.0) -> None:
+        if page_size < 512:
+            raise ValueError(f"implausible page size {page_size}")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.page_size = page_size
+        self.scale = scale
+
+    # -- sizing ---------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def total_pages(self) -> int:
+        """Pages of mmap'd data (Table 2's "Data (MB)" column)."""
+
+    @property
+    def data_bytes(self) -> int:
+        """Total data footprint in bytes."""
+        return self.total_pages * self.page_size
+
+    def pages_for(self, nbytes: float) -> int:
+        """Pages needed for ``nbytes`` of data."""
+        return max(1, math.ceil(nbytes / self.page_size))
+
+    # -- streams ---------------------------------------------------------------
+    @abc.abstractmethod
+    def streams(
+        self, n_nodes: int, page_base: int, rng: RngRegistry
+    ) -> List[Stream]:
+        """Per-processor reference streams, pages offset by ``page_base``."""
+
+    def describe(self) -> str:
+        """One-line description (Table 2 style)."""
+        return f"{self.name}: {self.total_pages} pages ({self.data_bytes / 1e6:.2f} MB)"
+
+
+def rng_stream(rng: RngRegistry, app: str, node: int) -> np.random.Generator:
+    """Deterministic per-(app, node) generator."""
+    return rng.stream(f"app/{app}/node{node}")

@@ -1,0 +1,124 @@
+"""Em3d: electromagnetic wave propagation on a bipartite graph
+(Table 2: 32K nodes, 5% remote edges, 10 iterations).
+
+The classic Split-C benchmark: E-field and H-field graph nodes update
+alternately; each update reads the node's dependency list (large,
+read-only edge data streamed every iteration) and the values of its
+neighbours, 95% of which live in the local partition and 5% on random
+remote partitions.  The big read-only edge arrays give Em3d little
+reusable dirty data — it shows the paper's *lowest* NWCache hit rate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stream, Workload, barrier, block_range, rng_stream, scaled_dim, visit
+from repro.sim.rng import RngRegistry
+
+VALUE_BYTES = 32  #: field value + per-node state, rewritten every iteration
+EDGE_BYTES = 12   #: neighbour pointer + weight (read-only, streamed)
+DEGREE = 4        #: dependencies per graph node (keeps Table 2's 2.5 MB)
+
+
+class Em3d(Workload):
+    """Bipartite E/H graph relaxation with mostly-local dependencies."""
+
+    name = "em3d"
+
+    def __init__(
+        self,
+        graph_nodes: int = 32 * 1024,
+        remote_fraction: float = 0.05,
+        iterations: int = 10,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        cycles_per_flop: float = 1.0,
+    ) -> None:
+        super().__init__(page_size, scale)
+        if not (0.0 <= remote_fraction <= 1.0):
+            raise ValueError(f"bad remote fraction {remote_fraction}")
+        self.graph_nodes = scaled_dim(graph_nodes, scale, minimum=2048)
+        self.remote_fraction = remote_fraction
+        self.iterations = iterations
+        self.cycles_per_flop = cycles_per_flop
+        half = self.graph_nodes // 2  # E nodes; the other half are H nodes
+        self.values_per_page = page_size // VALUE_BYTES
+        self.value_pages_per_field = -(-half // self.values_per_page)
+        edge_bytes = half * DEGREE * EDGE_BYTES
+        self.edge_pages_per_field = self.pages_for(edge_bytes)
+
+    @property
+    def total_pages(self) -> int:
+        return 2 * (self.value_pages_per_field + self.edge_pages_per_field)
+
+    # layout: [E values][H values][E edges][H edges]
+    def value_page(self, field: int, page: int) -> int:
+        """App-local id of value page ``page`` of field 0 (E) / 1 (H)."""
+        return field * self.value_pages_per_field + page
+
+    def edge_page(self, field: int, page: int) -> int:
+        """App-local id of edge-list page ``page`` of field 0 (E) / 1 (H)."""
+        return (
+            2 * self.value_pages_per_field
+            + field * self.edge_pages_per_field
+            + page
+        )
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        return [
+            self._stream(n_nodes, node, page_base, rng) for node in range(n_nodes)
+        ]
+
+    def _phase(self, base: int, n_nodes: int, node: int, field: int, remote_targets):
+        """Update all owned nodes of ``field`` reading the other field."""
+        other = 1 - field
+        vpp = self.values_per_page
+        mine = block_range(self.value_pages_per_field, n_nodes, node)
+        think = vpp * DEGREE * 2.0 * self.cycles_per_flop
+        nv, ne = self.value_pages_per_field, self.edge_pages_per_field
+        for p in mine:
+            # Stream this page's slice of the (read-only) edge lists:
+            # value page p's nodes keep their edges in edge pages
+            # proportionally mapped onto [0, ne).
+            e0 = (p * ne) // nv
+            e1 = max(e0 + 1, ((p + 1) * ne) // nv)
+            for e in range(e0, min(e1, ne)):
+                yield visit(base + self.edge_page(field, e), vpp, 0)
+            # Local neighbour values (same slab of the other field).
+            yield visit(base + self.value_page(other, p), vpp * (DEGREE - 1), 0)
+            # Remote neighbour values: the graph is static, so each owned
+            # page reads the *same* few remote pages every iteration.
+            for t in remote_targets[p]:
+                yield visit(base + self.value_page(other, t), DEGREE, 0)
+            # Write the updated values.
+            yield visit(base + self.value_page(field, p), 0, vpp, think)
+
+    def _stream(self, n_nodes: int, node: int, base: int, rng: RngRegistry) -> Stream:
+        gen = rng_stream(rng, self.name, node)
+        vpp = self.values_per_page
+        n_remote = max(1, int(vpp * DEGREE * self.remote_fraction) // DEGREE)
+        mine = block_range(self.value_pages_per_field, n_nodes, node)
+        # Fixed neighbour structure: drawn once, reused all iterations.
+        remote_targets = {
+            p: [int(t) for t in gen.integers(0, self.value_pages_per_field, n_remote)]
+            for p in mine
+        }
+        # Graph construction: every owned value and edge page is written
+        # in place (the file is mmap'd read/write), so the first eviction
+        # of each — notably the big, afterwards-read-only edge arrays —
+        # is a dirty swap-out.
+        epp = self.page_size // EDGE_BYTES
+        for field in (0, 1):
+            for p in mine:
+                yield visit(base + self.value_page(field, p), 0, vpp, vpp * 2.0)
+        edge_mine = block_range(self.edge_pages_per_field, n_nodes, node)
+        for field in (0, 1):
+            for e in edge_mine:
+                yield visit(base + self.edge_page(field, e), 0, epp, epp * 2.0)
+        yield barrier(("em3d", "init"))
+        for it in range(self.iterations):
+            yield from self._phase(base, n_nodes, node, 0, remote_targets)  # E from H
+            yield barrier(("em3d", it, "e"))
+            yield from self._phase(base, n_nodes, node, 1, remote_targets)  # H from E
+            yield barrier(("em3d", it, "h"))

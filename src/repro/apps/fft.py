@@ -1,0 +1,91 @@
+"""FFT: 1D radix-sqrt(n) complex FFT (Table 2: 64K points).
+
+The SPLASH-2 organization: the ``n`` complex points are viewed as a
+``sqrt(n) x sqrt(n)`` matrix (one 256-complex row = one 4 KB page).
+Each of the three computation phases does per-processor row FFTs on a
+block of rows; between them the matrix is transposed, an all-to-all
+pattern in which every processor reads a little of *every* source row
+page — the communication-intensive part of FFT.  A scratch matrix is
+the transpose target and a read-only twiddle/roots matrix is consumed
+by the middle phase (3 matrices ≈ Table 2's 3.1 MB).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.apps.base import Stream, Workload, barrier, block_range, scaled_dim, visit
+from repro.sim.rng import RngRegistry
+
+COMPLEX_BYTES = 16
+
+
+class Fft(Workload):
+    """Transpose-based 1D FFT over three sqrt(n) x sqrt(n) matrices."""
+
+    name = "fft"
+
+    def __init__(
+        self,
+        points: int = 64 * 1024,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        cycles_per_flop: float = 1.0,
+    ) -> None:
+        super().__init__(page_size, scale)
+        points = scaled_dim(points, scale * scale, minimum=1024)
+        self.dim = 1 << max(3, int(round(math.log2(math.sqrt(points)))))
+        self.points = self.dim * self.dim
+        self.cycles_per_flop = cycles_per_flop
+        row_bytes = self.dim * COMPLEX_BYTES
+        self.rows_per_page = max(1, page_size // row_bytes)
+        self.pages_per_matrix = -(-self.dim // self.rows_per_page)
+
+    @property
+    def total_pages(self) -> int:
+        return 3 * self.pages_per_matrix  # data, scratch, twiddles
+
+    def matrix_page(self, matrix: int, page: int) -> int:
+        """App-local page id within matrix 0 (data), 1 (scratch), 2 (roots)."""
+        return matrix * self.pages_per_matrix + page
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        return [self._stream(n_nodes, node, page_base) for node in range(n_nodes)]
+
+    def _row_ffts(self, base: int, node_pages: range, src: int, twiddle: bool):
+        """Per-page FFT of the rows a processor owns in matrix ``src``."""
+        elems = self.rows_per_page * self.dim
+        flops = 5.0 * elems * math.log2(self.dim)
+        think = flops * self.cycles_per_flop
+        for p in node_pages:
+            if twiddle:
+                yield visit(base + self.matrix_page(2, p), elems, 0)
+            yield visit(base + self.matrix_page(src, p), elems, elems, think)
+
+    def _transpose(self, base: int, node_pages: range, src: int, dst: int):
+        """All-to-all: build owned dest pages by reading every source page."""
+        elems = self.rows_per_page * self.dim
+        reads_per_src = max(1, elems // self.pages_per_matrix)
+        for p in node_pages:
+            for s in range(self.pages_per_matrix):
+                yield visit(base + self.matrix_page(src, s), reads_per_src, 0)
+            yield visit(base + self.matrix_page(dst, p), 0, elems)
+
+    def _stream(self, n_nodes: int, node: int, base: int) -> Stream:
+        mine = block_range(self.pages_per_matrix, n_nodes, node)
+        # transpose A -> B
+        yield from self._transpose(base, mine, 0, 1)
+        yield barrier(("fft", 0))
+        # row FFTs on B, with twiddles
+        yield from self._row_ffts(base, mine, 1, twiddle=True)
+        yield barrier(("fft", 1))
+        # transpose B -> A
+        yield from self._transpose(base, mine, 1, 0)
+        yield barrier(("fft", 2))
+        # row FFTs on A
+        yield from self._row_ffts(base, mine, 0, twiddle=False)
+        yield barrier(("fft", 3))
+        # final transpose A -> B (natural order result)
+        yield from self._transpose(base, mine, 0, 1)
+        yield barrier(("fft", 4))

@@ -1,0 +1,105 @@
+"""LU: blocked dense LU factorization (Table 2: 576x576 doubles).
+
+SPLASH-2-style right-looking blocked LU with a blocked (block-major)
+data layout and 2D-cyclic block ownership.  Step ``k``: the owner
+factors the diagonal block; perimeter-block owners update row/column
+blocks against it; interior-block owners update ``A[i][j] -=
+L[i][k] * U[k][j]``.  Barriers separate the three phases of every step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.base import Stream, Workload, barrier, scaled_dim, visit
+from repro.sim.rng import RngRegistry
+
+DOUBLE_BYTES = 8
+
+
+class Lu(Workload):
+    """Blocked right-looking LU."""
+
+    name = "lu"
+
+    def __init__(
+        self,
+        n: int = 576,
+        block: int = 64,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        cycles_per_flop: float = 1.0,
+    ) -> None:
+        super().__init__(page_size, scale)
+        self.n = scaled_dim(n, scale, minimum=2 * block if scale >= 1 else block)
+        self.block = block
+        if self.n < block:
+            self.block = block = max(8, self.n // 2)
+        self.nb = -(-self.n // block)  # blocks per dimension
+        self.cycles_per_flop = cycles_per_flop
+        block_bytes = block * block * DOUBLE_BYTES
+        self.pages_per_block = max(1, -(-block_bytes // page_size))
+
+    @property
+    def total_pages(self) -> int:
+        return self.nb * self.nb * self.pages_per_block
+
+    # -- layout / ownership -----------------------------------------------------
+    def block_pages(self, i: int, j: int) -> range:
+        """App-local pages of block (i, j) — block-major layout."""
+        idx = (i * self.nb + j) * self.pages_per_block
+        return range(idx, idx + self.pages_per_block)
+
+    def owner(self, i: int, j: int, n_nodes: int) -> int:
+        """2D-cyclic block owner."""
+        return (i * self.nb + j) % n_nodes
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        return [self._stream(n_nodes, node, page_base) for node in range(n_nodes)]
+
+    def _visit_block(
+        self, base: int, i: int, j: int, reads: int, writes: int, think: float
+    ):
+        pages = self.block_pages(i, j)
+        per_page_think = think / len(pages)
+        for p in pages:
+            yield visit(base + p, reads, writes, per_page_think)
+
+    def _stream(self, n_nodes: int, node: int, base: int) -> Stream:
+        b = self.block
+        elems_per_page = min(b * b, self.page_size // DOUBLE_BYTES)
+        cpf = self.cycles_per_flop
+        for k in range(self.nb):
+            # Phase 1: factor the diagonal block (its owner only).
+            if self.owner(k, k, n_nodes) == node:
+                think = (2.0 / 3.0) * b * b * b * cpf
+                yield from self._visit_block(
+                    base, k, k, elems_per_page, elems_per_page, think
+                )
+            yield barrier(("lu", k, "diag"))
+            # Phase 2: perimeter updates read the diagonal block.
+            for t in range(k + 1, self.nb):
+                for (i, j) in ((t, k), (k, t)):
+                    if self.owner(i, j, n_nodes) != node:
+                        continue
+                    for p in self.block_pages(k, k):
+                        yield visit(base + p, elems_per_page, 0)
+                    think = b * b * b * cpf
+                    yield from self._visit_block(
+                        base, i, j, elems_per_page, elems_per_page, think
+                    )
+            yield barrier(("lu", k, "perim"))
+            # Phase 3: interior updates read their row/column perimeter blocks.
+            for i in range(k + 1, self.nb):
+                for j in range(k + 1, self.nb):
+                    if self.owner(i, j, n_nodes) != node:
+                        continue
+                    for p in self.block_pages(i, k):
+                        yield visit(base + p, elems_per_page, 0)
+                    for p in self.block_pages(k, j):
+                        yield visit(base + p, elems_per_page, 0)
+                    think = 2.0 * b * b * b * cpf
+                    yield from self._visit_block(
+                        base, i, j, elems_per_page, elems_per_page, think
+                    )
+            yield barrier(("lu", k, "inner"))

@@ -1,0 +1,135 @@
+"""MG: 3D Poisson solver using multigrid V-cycles (Table 2: 32x32x64).
+
+Four double-precision grids (solution, right-hand side, residual,
+scratch) exist at every level of a geometric hierarchy (each coarser
+level has 1/8 the points).  A V-cycle relaxes and restricts down the
+hierarchy and prolongates/relaxes back up.  Grids are partitioned by
+z-slabs.  The coarse levels are tiny and intensely reused — MG's
+working set nearly fits in memory + NWCache, giving it one of the
+paper's highest victim-cache hit rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.base import Stream, Workload, barrier, block_range, scaled_dim, visit
+from repro.sim.rng import RngRegistry
+
+DOUBLE_BYTES = 8
+#: 7-point stencil: ~8 flops per point per relaxation
+FLOPS_PER_POINT = 8.0
+N_ARRAYS = 4  #: u, rhs, residual, scratch
+
+
+class Mg(Workload):
+    """Multigrid V-cycles over a level hierarchy of 3D grids."""
+
+    name = "mg"
+
+    def __init__(
+        self,
+        nx: int = 32,
+        ny: int = 32,
+        nz: int = 64,
+        iterations: int = 10,
+        smoothing_sweeps: int = 2,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        cycles_per_flop: float = 1.0,
+    ) -> None:
+        super().__init__(page_size, scale)
+        self.nx = scaled_dim(nx, scale, minimum=4)
+        self.ny = scaled_dim(ny, scale, minimum=4)
+        self.nz = scaled_dim(nz, scale, minimum=8)
+        self.iterations = iterations
+        self.smoothing_sweeps = smoothing_sweeps
+        self.cycles_per_flop = cycles_per_flop
+        # Build the level hierarchy (level 0 = finest).
+        self.level_pages: List[int] = []
+        x, y, z = self.nx, self.ny, self.nz
+        while min(x, y, z) >= 2:
+            points = x * y * z
+            self.level_pages.append(self.pages_for(points * DOUBLE_BYTES))
+            x, y, z = max(1, x // 2), max(1, y // 2), max(1, z // 2)
+        self.n_levels = len(self.level_pages)
+        # App-local page offset of (array, level).
+        self._offsets: List[List[int]] = []
+        off = 0
+        for a in range(N_ARRAYS):
+            per_level = []
+            for lvl in range(self.n_levels):
+                per_level.append(off)
+                off += self.level_pages[lvl]
+            self._offsets.append(per_level)
+        self._total = off
+
+    @property
+    def total_pages(self) -> int:
+        return self._total
+
+    def array_pages(self, array: int, level: int) -> range:
+        """App-local pages of grid ``array`` at ``level``."""
+        start = self._offsets[array][level]
+        return range(start, start + self.level_pages[level])
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        return [self._stream(n_nodes, node, page_base) for node in range(n_nodes)]
+
+    def _sweep(self, base: int, n_nodes: int, node: int, level: int, dst_array: int, src_array: int):
+        """One relaxation sweep at ``level``: read src + rhs, write dst."""
+        npages = self.level_pages[level]
+        mine = block_range(npages, n_nodes, node)
+        elems = min(self.page_size // DOUBLE_BYTES, 1 << 16)
+        think = elems * FLOPS_PER_POINT * self.cycles_per_flop
+        dst = self.array_pages(dst_array, level)
+        src = self.array_pages(src_array, level)
+        rhs = self.array_pages(1, level)
+        for p in mine:
+            yield visit(base + src[p], elems, 0)
+            if p > 0:
+                yield visit(base + src[p - 1], elems // 8, 0)
+            if p + 1 < npages:
+                yield visit(base + src[p + 1], elems // 8, 0)
+            yield visit(base + rhs[p], elems, 0)
+            yield visit(base + dst[p], 0, elems, think)
+
+    def _inter_grid(self, base: int, n_nodes: int, node: int, fine: int, coarse: int, down: bool):
+        """Restriction (down) or prolongation (up) between two levels."""
+        npages_c = self.level_pages[coarse]
+        mine = block_range(npages_c, n_nodes, node)
+        elems = min(self.page_size // DOUBLE_BYTES, 1 << 16)
+        fine_pages = self.array_pages(2, fine)
+        coarse_pages = self.array_pages(1 if down else 0, coarse)
+        ratio = max(1, self.level_pages[fine] // max(1, npages_c))
+        for p in mine:
+            for f in range(p * ratio, min((p + 1) * ratio, self.level_pages[fine])):
+                if down:
+                    yield visit(base + fine_pages[f], elems, 0)
+                else:
+                    yield visit(base + fine_pages[f], 0, elems)
+            if down:
+                yield visit(base + coarse_pages[p], 0, elems)
+            else:
+                yield visit(base + coarse_pages[p], elems, 0)
+
+    def _stream(self, n_nodes: int, node: int, base: int) -> Stream:
+        for it in range(self.iterations):
+            # Down-sweep: relax then restrict at each level.
+            for lvl in range(self.n_levels - 1):
+                for s in range(self.smoothing_sweeps):
+                    yield from self._sweep(base, n_nodes, node, lvl, 0, 0 if s else 3)
+                yield barrier(("mg", it, lvl, "down"))
+                yield from self._inter_grid(base, n_nodes, node, lvl, lvl + 1, down=True)
+                yield barrier(("mg", it, lvl, "restrict"))
+            # Coarsest solve: a few extra sweeps.
+            for s in range(2 * self.smoothing_sweeps):
+                yield from self._sweep(base, n_nodes, node, self.n_levels - 1, 0, 0)
+            yield barrier(("mg", it, "coarse"))
+            # Up-sweep: prolongate then relax.
+            for lvl in range(self.n_levels - 2, -1, -1):
+                yield from self._inter_grid(base, n_nodes, node, lvl, lvl + 1, down=False)
+                yield barrier(("mg", it, lvl, "prolong"))
+                for s in range(self.smoothing_sweeps):
+                    yield from self._sweep(base, n_nodes, node, lvl, 0, 0)
+                yield barrier(("mg", it, lvl, "up"))

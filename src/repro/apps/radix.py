@@ -1,0 +1,92 @@
+"""Radix: integer radix sort (Table 2: 320K keys, radix 1024).
+
+SPLASH-2-style parallel radix sort: per pass, each processor (1) builds
+a local histogram by streaming its block of the source array, (2) merges
+histograms into the shared global histogram, and (3) permutes its keys
+into the destination array.  The permutation writes are the interesting
+part: with radix 1024, the keys of one source page scatter across
+essentially the whole destination array — radix sort's notoriously poor
+write locality, which produces machine-wide bursts of dirty pages.
+
+The scatter is modelled by ``scatter_visits`` randomly-targeted write
+visits per source page (documented approximation; the target
+distribution is uniform, matching uniform random keys).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stream, Workload, barrier, block_range, rng_stream, scaled_dim, visit
+from repro.sim.rng import RngRegistry
+
+INT_BYTES = 4
+
+
+class Radix(Workload):
+    """Parallel radix sort over src/dst key arrays plus histograms."""
+
+    name = "radix"
+
+    def __init__(
+        self,
+        n_keys: int = 320 * 1024,
+        radix: int = 1024,
+        passes: int = 2,
+        scatter_visits: int = 32,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        cycles_per_flop: float = 1.0,
+    ) -> None:
+        super().__init__(page_size, scale)
+        self.n_keys = scaled_dim(n_keys, scale, minimum=4096)
+        self.radix = radix
+        self.passes = passes
+        self.scatter_visits = scatter_visits
+        self.cycles_per_flop = cycles_per_flop
+        self.keys_per_page = page_size // INT_BYTES
+        self.pages_per_array = -(-self.n_keys // self.keys_per_page)
+        self.hist_pages = max(1, self.pages_for(self.radix * INT_BYTES * 2))
+
+    @property
+    def total_pages(self) -> int:
+        return 2 * self.pages_per_array + self.hist_pages
+
+    def array_page(self, array: int, page: int) -> int:
+        """App-local id of ``page`` in src (0) / dst (1)."""
+        return array * self.pages_per_array + page
+
+    def hist_page(self, i: int) -> int:
+        """App-local id of global-histogram page ``i``."""
+        return 2 * self.pages_per_array + i
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        return [
+            self._stream(n_nodes, node, page_base, rng) for node in range(n_nodes)
+        ]
+
+    def _stream(self, n_nodes: int, node: int, base: int, rng: RngRegistry) -> Stream:
+        gen = rng_stream(rng, self.name, node)
+        kpp = self.keys_per_page
+        mine = block_range(self.pages_per_array, n_nodes, node)
+        think_hist = kpp * 2.0 * self.cycles_per_flop
+        for pss in range(self.passes):
+            src, dst = pss % 2, 1 - (pss % 2)
+            # Phase 1: local histogram over own source block.
+            for p in mine:
+                yield visit(base + self.array_page(src, p), kpp, 0, think_hist)
+            yield barrier(("radix", pss, "hist"))
+            # Phase 2: merge into the shared global histogram (all write).
+            for h in range(self.hist_pages):
+                yield visit(base + self.hist_page(h), self.radix, self.radix)
+            yield barrier(("radix", pss, "merge"))
+            # Phase 3: permutation — scattered writes across the dest array.
+            writes_per_visit = max(1, kpp // self.scatter_visits)
+            for p in mine:
+                yield visit(base + self.array_page(src, p), kpp, 0)
+                targets = gen.integers(0, self.pages_per_array, self.scatter_visits)
+                for t in targets:
+                    yield visit(
+                        base + self.array_page(dst, int(t)), 0, writes_per_visit
+                    )
+            yield barrier(("radix", pss, "permute"))

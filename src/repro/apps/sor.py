@@ -1,0 +1,76 @@
+"""SOR: successive over-relaxation (Table 2: 640x512 floats, 10 iters).
+
+Two float grids (current / previous) are swept top to bottom each
+iteration: every point of the new grid reads its four neighbours in the
+old grid.  Rows are block-partitioned across processors, so only block
+boundaries are shared.  The sweep is a pure streaming pattern over both
+arrays — the whole data set is written every iteration, which makes SOR
+swap-out heavy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stream, Workload, barrier, block_range, scaled_dim, visit
+from repro.sim.rng import RngRegistry
+
+FLOAT_BYTES = 4
+#: flops per grid point per sweep (4 adds + 1 scale)
+FLOPS_PER_POINT = 5.0
+
+
+class Sor(Workload):
+    """Red/black-free Jacobi-style SOR over two grids."""
+
+    name = "sor"
+
+    def __init__(
+        self,
+        rows: int = 640,
+        cols: int = 512,
+        iterations: int = 10,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        cycles_per_flop: float = 1.0,
+    ) -> None:
+        super().__init__(page_size, scale)
+        self.rows = scaled_dim(rows, scale, minimum=8)
+        self.cols = scaled_dim(cols, scale, minimum=64)
+        self.iterations = iterations
+        self.cycles_per_flop = cycles_per_flop
+        row_bytes = self.cols * FLOAT_BYTES
+        if page_size % row_bytes == 0:
+            self.rows_per_page = page_size // row_bytes
+        else:
+            self.rows_per_page = max(1, page_size // row_bytes)
+        self.pages_per_grid = -(-self.rows // self.rows_per_page)  # ceil
+
+    @property
+    def total_pages(self) -> int:
+        return 2 * self.pages_per_grid
+
+    # -- layout helpers --------------------------------------------------------
+    def grid_page(self, grid: int, page_in_grid: int) -> int:
+        """App-local page id of ``page_in_grid`` within grid 0 or 1."""
+        return grid * self.pages_per_grid + page_in_grid
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        return [self._stream(n_nodes, node, page_base) for node in range(n_nodes)]
+
+    def _stream(self, n_nodes: int, node: int, base: int) -> Stream:
+        elems = self.rows_per_page * self.cols
+        think = elems * FLOPS_PER_POINT * self.cycles_per_flop
+        my_pages = block_range(self.pages_per_grid, n_nodes, node)
+        for it in range(self.iterations):
+            src, dst = it % 2, 1 - (it % 2)  # grids alternate roles
+            for p in my_pages:
+                # Read the stencil neighbourhood in the source grid.
+                if p > 0:
+                    yield visit(base + self.grid_page(src, p - 1), self.cols, 0)
+                yield visit(base + self.grid_page(src, p), elems, 0)
+                if p + 1 < self.pages_per_grid:
+                    yield visit(base + self.grid_page(src, p + 1), self.cols, 0)
+                # Write the destination page.
+                yield visit(base + self.grid_page(dst, p), 0, elems, think)
+            yield barrier(("sor", it))

@@ -1,0 +1,107 @@
+"""Workload trace recording and replay (trace-driven simulation).
+
+The paper's related work contrasts execution-driven with *trace-driven*
+studies (e.g. its reference [9]).  This module supports both styles:
+any driver's reference streams can be recorded to a JSON trace file and
+replayed later — byte-identical across machines, simulator versions,
+or parameter sweeps — so an expensive workload generation (or a trace
+captured elsewhere) can drive many experiments.
+
+Format: a single JSON object::
+
+    {"name": ..., "page_size": ..., "total_pages": ..., "n_nodes": ...,
+     "streams": [[["visit", page, r, w, think] | ["barrier", key], ...], ...]}
+
+Barrier keys are JSON-ified (lists); replay re-tuples them so keys that
+were tuples keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, List
+
+from repro.apps.base import Item, Stream, Workload
+from repro.sim.rng import RngRegistry
+
+
+def _freeze_key(key: Any) -> Any:
+    """Make a replayed (JSON-decoded) barrier key hashable again."""
+    if isinstance(key, list):
+        return tuple(_freeze_key(k) for k in key)
+    return key
+
+
+def record_trace(
+    workload: Workload,
+    n_nodes: int,
+    path: "Path | str",
+    seed: int = 0,
+) -> int:
+    """Materialize a workload's streams into a trace file.
+
+    Returns the total number of recorded items.
+    """
+    rng = RngRegistry(seed)
+    streams = [list(s) for s in workload.streams(n_nodes, 0, rng)]
+    payload = {
+        "name": workload.name,
+        "page_size": workload.page_size,
+        "total_pages": workload.total_pages,
+        "n_nodes": n_nodes,
+        "streams": [[list(item) for item in s] for s in streams],
+    }
+    Path(path).write_text(json.dumps(payload))
+    return sum(len(s) for s in streams)
+
+
+class TraceWorkload(Workload):
+    """Replays a trace file recorded by :func:`record_trace`."""
+
+    def __init__(self, path: "Path | str") -> None:
+        data = json.loads(Path(path).read_text())
+        for field in ("name", "page_size", "total_pages", "n_nodes", "streams"):
+            if field not in data:
+                raise ValueError(f"{path}: trace missing field {field!r}")
+        super().__init__(page_size=data["page_size"])
+        self.name = f"{data['name']}-trace"
+        self._total_pages = data["total_pages"]
+        self.n_nodes = data["n_nodes"]
+        self._streams: List[List[Item]] = []
+        for raw in data["streams"]:
+            items: List[Item] = []
+            for entry in raw:
+                kind = entry[0]
+                if kind == "visit":
+                    _, page, r, w, think = entry
+                    items.append(("visit", page, r, w, think))
+                elif kind == "barrier":
+                    items.append(("barrier", _freeze_key(entry[1])))
+                else:
+                    raise ValueError(f"{path}: unknown trace item {entry!r}")
+            self._streams.append(items)
+        if len(self._streams) != self.n_nodes:
+            raise ValueError(
+                f"{path}: {len(self._streams)} streams for {self.n_nodes} nodes"
+            )
+
+    @property
+    def total_pages(self) -> int:
+        return self._total_pages
+
+    def streams(self, n_nodes: int, page_base: int, rng: RngRegistry) -> List[Stream]:
+        if n_nodes != self.n_nodes:
+            raise ValueError(
+                f"trace was recorded for {self.n_nodes} nodes, machine has "
+                f"{n_nodes}"
+            )
+
+        def replay(items: List[Item]) -> Stream:
+            for item in items:
+                if item[0] == "visit":
+                    yield ("visit", page_base + item[1], item[2], item[3], item[4])
+                else:
+                    yield item
+
+        return [replay(s) for s in self._streams]

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``describe``
+    Print the Table 1 machine parameters and the Table 2 workload list.
+``run APP``
+    Run one experiment and print its summary.
+``compare APP``
+    Run both machines on one app and print the headline comparison.
+``table N``
+    Regenerate paper table N (3-8) across all applications.
+``figure N``
+    Regenerate paper figure N (3 or 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps import APP_NAMES, make_app
+from repro.config import SimConfig
+from repro.core import report
+from repro.core.machine import RunResult
+from repro.core.runner import linear_scale, run_experiment, run_pair
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="fraction of the paper's data size (default 0.25)")
+    p.add_argument("--prefetch", choices=("optimal", "naive", "stream"),
+                   default="optimal")
+
+
+def _summary(res: RunResult) -> str:
+    lines = [
+        f"app={res.app} system={res.system} prefetch={res.prefetch}",
+        f"  execution time : {res.exec_time / 1e6:12.2f} Mpcycles",
+        f"  avg swap-out   : {res.swapout_mean / 1e3:12.1f} Kpcycles "
+        f"({res.metrics.swapout.n} swap-outs)",
+        f"  page faults    : {res.metrics.counts['faults']:12d} "
+        f"(ring hits {res.ring_hit_rate:.1%}, "
+        f"disk-cache hits {res.metrics.disk_cache_hit_rate:.1%})",
+        f"  write combining: {res.combining.mean:12.2f} pages/disk write",
+        "  breakdown      : "
+        + "  ".join(
+            f"{k}={v / sum(res.breakdown.values()):.1%}"
+            for k, v in res.breakdown.items()
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    cfg = SimConfig.paper()
+    print("Machine (Table 1):")
+    print(cfg.describe())
+    print("\nApplications (Table 2):")
+    for name in APP_NAMES:
+        app = make_app(name, scale=1.0)
+        print(f"  {app.describe()}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.report:
+        from repro.core.inspect import machine_report
+        from repro.core.machine import Machine
+        from repro.core.runner import BEST_MIN_FREE, experiment_config
+
+        cfg = experiment_config(
+            args.scale, min_free=BEST_MIN_FREE[(args.system, args.prefetch)]
+        )
+        machine = Machine(cfg, system=args.system, prefetch=args.prefetch)
+        app = make_app(args.app, scale=linear_scale(args.app, args.scale))
+        res = machine.run(app)
+        print(_summary(res))
+        print()
+        print(machine_report(machine, res.exec_time))
+    else:
+        res = run_experiment(
+            args.app, args.system, args.prefetch, data_scale=args.scale
+        )
+        print(_summary(res))
+    if args.json:
+        from repro.core.export import save_results
+
+        save_results(args.json, [res])
+        print(f"\nwrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    std, nwc = run_pair(args.app, prefetch=args.prefetch, data_scale=args.scale)
+    print(_summary(std))
+    print()
+    print(_summary(nwc))
+    print(f"\nNWCache improvement: {nwc.speedup_vs(std):.1%}"
+          f"   swap-out speedup: {std.swapout_mean / max(nwc.swapout_mean, 1e-9):.0f}x")
+    return 0
+
+
+def _all_pairs(prefetch: str, scale: float, apps: List[str]):
+    pairs = {}
+    for app in apps:
+        print(f"  running {app} ({prefetch}) ...", file=sys.stderr)
+        pairs[app] = run_pair(app, prefetch=prefetch, data_scale=scale)
+    return pairs
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    apps = args.apps or APP_NAMES
+    n = args.number
+    if n in (3, 5):
+        pairs = _all_pairs("optimal", args.scale, apps)
+        text = (report.table_swapout(pairs, "optimal") if n == 3
+                else report.table_combining(pairs, "optimal"))
+    elif n in (4, 6, 8):
+        pairs = _all_pairs("naive", args.scale, apps)
+        text = {
+            4: lambda: report.table_swapout(pairs, "naive"),
+            6: lambda: report.table_combining(pairs, "naive"),
+            8: lambda: report.table_disk_hit_latency(pairs),
+        }[n]()
+    elif n == 7:
+        naive = {a: run_experiment(a, "nwcache", "naive",
+                                   data_scale=args.scale) for a in apps}
+        optimal = {a: run_experiment(a, "nwcache", "optimal",
+                                     data_scale=args.scale) for a in apps}
+        text = report.table_hit_rates(naive, optimal)
+    else:
+        print(f"no such table: {n} (know 3-8)", file=sys.stderr)
+        return 2
+    print(text)
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.number not in (3, 4):
+        print(f"no such figure: {args.number} (know 3, 4)", file=sys.stderr)
+        return 2
+    prefetch = "optimal" if args.number == 3 else "naive"
+    pairs = _all_pairs(prefetch, args.scale, args.apps or APP_NAMES)
+    print(report.figure_breakdown(pairs, prefetch))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweep import sweep, tabulate
+
+    values = [int(v) for v in args.values]
+    rows = sweep(
+        args.app,
+        system=args.system,
+        prefetch=args.prefetch,
+        data_scale=args.scale,
+        **{args.parameter: values},
+    )
+    print(tabulate(rows, title=f"{args.app}: {args.parameter} sweep"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps.trace import TraceWorkload, record_trace
+
+    if args.trace_command == "record":
+        app = make_app(args.app, scale=linear_scale(args.app, args.scale))
+        n = record_trace(app, n_nodes=args.nodes, path=args.path,
+                         seed=args.seed)
+        print(f"recorded {n} items from {args.app} to {args.path}")
+        return 0
+    # replay
+    wl = TraceWorkload(args.path)
+    res = run_experiment(wl, args.system, args.prefetch, data_scale=args.scale)
+    print(_summary(res))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="NWCache (IPPS 1999) reproduction simulator",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="print Table 1 / Table 2").set_defaults(
+        func=cmd_describe
+    )
+
+    p = sub.add_parser("run", help="run one experiment")
+    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("--system", choices=("standard", "nwcache"),
+                   default="nwcache")
+    p.add_argument("--report", action="store_true",
+                   help="also print per-component utilization")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the result as JSON to PATH")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="standard vs NWCache on one app")
+    p.add_argument("app", choices=APP_NAMES)
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table", help="regenerate a paper table (3-8)")
+    p.add_argument("number", type=int)
+    p.add_argument("--apps", nargs="*", choices=APP_NAMES)
+    _add_common(p)
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (3 or 4)")
+    p.add_argument("number", type=int)
+    p.add_argument("--apps", nargs="*", choices=APP_NAMES)
+    _add_common(p)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("sweep", help="sweep one machine parameter")
+    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("parameter",
+                   help="SimConfig field, e.g. ring_channel_bytes")
+    p.add_argument("values", nargs="+", help="integer values to sweep")
+    p.add_argument("--system", choices=("standard", "nwcache"),
+                   default="nwcache")
+    _add_common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("trace", help="record / replay workload traces")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    pr = tsub.add_parser("record")
+    pr.add_argument("app", choices=APP_NAMES)
+    pr.add_argument("path")
+    pr.add_argument("--nodes", type=int, default=8)
+    pr.add_argument("--seed", type=int, default=0)
+    _add_common(pr)
+    pr.set_defaults(func=cmd_trace)
+    pp = tsub.add_parser("replay")
+    pp.add_argument("path")
+    pp.add_argument("--system", choices=("standard", "nwcache"),
+                    default="nwcache")
+    _add_common(pp)
+    pp.set_defaults(func=cmd_trace)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Core library: machine assembly, experiment running, reporting.
+
+This is the primary public surface of the reproduction:
+
+* :class:`~repro.core.machine.Machine` — build a standard or
+  NWCache-equipped multiprocessor from a :class:`~repro.config.SimConfig`
+  and run a workload on it.
+* :func:`~repro.core.runner.run_experiment` — one (application, system,
+  prefetch) cell of the paper's evaluation, with the paper's best
+  min-free-frames setting applied automatically.
+* :mod:`~repro.core.report` — the text tables/figures of Section 5.
+"""
+
+from repro.core.export import load_results, result_to_dict, save_results
+from repro.core.machine import Machine, RunResult, SYSTEM_NWCACHE, SYSTEM_STANDARD
+from repro.core.runner import (
+    BEST_MIN_FREE,
+    experiment_config,
+    run_experiment,
+    run_pair,
+)
+from repro.core.sweep import sweep, tabulate
+
+__all__ = [
+    "BEST_MIN_FREE",
+    "Machine",
+    "RunResult",
+    "SYSTEM_NWCACHE",
+    "SYSTEM_STANDARD",
+    "experiment_config",
+    "load_results",
+    "result_to_dict",
+    "run_experiment",
+    "run_pair",
+    "save_results",
+    "sweep",
+    "tabulate",
+]

@@ -1,0 +1,175 @@
+"""Closed-form performance models for validation and back-of-envelope use.
+
+Every formula here describes an *uncontended* operation, so the
+simulator must reproduce it exactly when run on an otherwise idle
+machine — `tests/validation/` holds those cross-checks.  The module also
+implements the paper's Section 2 storage-capacity formula and simple
+throughput bounds that explain where the measured curves saturate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimConfig
+from repro.hw.bus import BUS_ARBITRATION_PCYCLES
+
+#: speed of light in fiber used by the paper, m/s
+FIBER_LIGHT_SPEED = 2.0e8
+
+
+def ring_capacity_bits(num_channels: int, fiber_length_m: float,
+                       rate_bits_per_s: float) -> float:
+    """Section 2: ``capacity = channels * length * rate / c`` (bits)."""
+    if num_channels < 1 or fiber_length_m <= 0 or rate_bits_per_s <= 0:
+        raise ValueError("capacity inputs must be positive")
+    return num_channels * fiber_length_m * rate_bits_per_s / FIBER_LIGHT_SPEED
+
+
+def ring_fiber_length_m(cfg: SimConfig) -> float:
+    """Fiber length implied by the configured round-trip latency."""
+    seconds = cfg.ring_round_trip_usec * 1e-6
+    return seconds * FIBER_LIGHT_SPEED
+
+
+def ring_capacity_bytes(cfg: SimConfig) -> float:
+    """Paper-formula ring capacity for the configured machine (bytes)."""
+    rate_bits = cfg.ring_mbps * 1e6 * 8
+    bits = ring_capacity_bits(cfg.ring_channels, ring_fiber_length_m(cfg), rate_bits)
+    return bits / 8
+
+
+# --------------------------------------------------------------- bus/network
+def bus_transfer_pcycles(nbytes: float, rate: float) -> float:
+    """One uncontended bus transaction."""
+    return BUS_ARBITRATION_PCYCLES + nbytes / rate
+
+
+def network_transfer_pcycles(cfg: SimConfig, hops: int, nbytes: int) -> float:
+    """One uncontended mesh message."""
+    serialization = nbytes / cfg.link_rate if hops else 0.0
+    return (
+        cfg.message_overhead_pcycles
+        + hops * cfg.router_delay_pcycles
+        + serialization
+    )
+
+
+# --------------------------------------------------------------- fault paths
+def disk_cache_hit_read_pcycles(cfg: SimConfig, hops: int) -> float:
+    """Uncontended page-fault latency for a disk-controller-cache hit.
+
+    Request message -> controller overhead -> I/O bus -> (I/O node's
+    memory bus -> mesh, when the faulting node is remote) -> faulting
+    node's memory bus.  At Table 1 parameters and 2 hops this is the
+    paper's "about 6K pcycles" figure.
+    """
+    psize = cfg.page_size
+    total = network_transfer_pcycles(cfg, hops, cfg.control_msg_bytes)
+    total += cfg.controller_overhead_pcycles
+    total += bus_transfer_pcycles(psize, cfg.io_bus_rate)
+    if hops:
+        total += bus_transfer_pcycles(psize, cfg.mem_bus_rate)
+        total += network_transfer_pcycles(cfg, hops, psize)
+    total += bus_transfer_pcycles(psize, cfg.mem_bus_rate)
+    return total
+
+
+def ring_victim_read_pcycles(cfg: SimConfig, alignment: float) -> float:
+    """Uncontended victim read: ring snoop + local I/O and memory buses.
+
+    ``alignment`` is the wait for the page's slot to come around
+    (0 .. round trip); the mean over a uniform phase is half a round trip.
+    """
+    if not (0.0 <= alignment <= cfg.ring_round_trip_pcycles):
+        raise ValueError("alignment must be within one round trip")
+    psize = cfg.page_size
+    return (
+        alignment
+        + psize / cfg.ring_rate
+        + bus_transfer_pcycles(psize, cfg.io_bus_rate)
+        + bus_transfer_pcycles(psize, cfg.mem_bus_rate)
+    )
+
+
+def ring_victim_read_mean_pcycles(cfg: SimConfig) -> float:
+    """Victim read with the expected (half-round-trip) alignment."""
+    return ring_victim_read_pcycles(cfg, cfg.ring_round_trip_pcycles / 2)
+
+
+# --------------------------------------------------------------- swap paths
+def standard_swapout_pcycles(cfg: SimConfig, hops: int) -> float:
+    """Uncontended standard swap-out accepted on the first attempt."""
+    psize = cfg.page_size
+    total = bus_transfer_pcycles(psize, cfg.mem_bus_rate)
+    if hops:
+        total += network_transfer_pcycles(cfg, hops, psize)
+        total += bus_transfer_pcycles(psize, cfg.mem_bus_rate)
+    total += bus_transfer_pcycles(psize, cfg.io_bus_rate)
+    total += network_transfer_pcycles(cfg, hops, cfg.control_msg_bytes)  # ACK
+    return total
+
+
+def ring_swapout_pcycles(cfg: SimConfig) -> float:
+    """Uncontended NWCache swap-out (channel has room)."""
+    psize = cfg.page_size
+    return (
+        bus_transfer_pcycles(psize, cfg.mem_bus_rate)
+        + bus_transfer_pcycles(psize, cfg.io_bus_rate)
+        + psize / cfg.ring_rate
+    )
+
+
+# --------------------------------------------------------------- disk model
+def disk_write_service_pcycles(cfg: SimConfig, npages: int = 1,
+                               seek_fraction: float = 0.5) -> float:
+    """Expected one-op disk service time (seek + mean rotation + media)."""
+    if not (0.0 <= seek_fraction <= 1.0):
+        raise ValueError("seek_fraction in [0, 1]")
+    seek = cfg.seek_min_pcycles + (seek_fraction ** 0.5) * (
+        cfg.seek_max_pcycles - cfg.seek_min_pcycles
+    )
+    return seek + cfg.rotational_pcycles + npages * cfg.page_size / cfg.disk_rate
+
+
+def disk_write_throughput_pages_per_mpcycle(
+    cfg: SimConfig, combining: float = 1.0
+) -> float:
+    """Sustainable swap-out drain rate per disk, pages per Mpcycle."""
+    if combining < 1.0:
+        raise ValueError("combining factor >= 1")
+    per_op = disk_write_service_pcycles(cfg, npages=round(combining))
+    return combining / per_op * 1e6
+
+
+@dataclass
+class SwapBacklogModel:
+    """M/D/1-flavoured estimate of standard-machine swap-out waiting.
+
+    With swap-outs arriving at ``arrival_rate`` (pages per pcycle) at a
+    disk that retires them every ``service`` pcycles, utilization
+    ``rho = arrival_rate * service`` drives the queueing delay
+    ``service * rho / (2 (1 - rho))`` — the knee explains why standard
+    swap-out times explode under optimal prefetching (Table 3) and stay
+    modest under naive (Table 4).
+    """
+
+    cfg: SimConfig
+    combining: float = 1.0
+
+    @property
+    def service_pcycles(self) -> float:
+        return disk_write_service_pcycles(
+            self.cfg, npages=max(1, round(self.combining))
+        ) / max(1.0, self.combining)
+
+    def utilization(self, arrival_rate: float) -> float:
+        """Offered load: pages/pcycle times pcycles/page."""
+        return arrival_rate * self.service_pcycles
+
+    def mean_wait_pcycles(self, arrival_rate: float) -> float:
+        """Expected queueing wait before a swap-out's disk write."""
+        rho = self.utilization(arrival_rate)
+        if rho >= 1.0:
+            return float("inf")
+        return self.service_pcycles * rho / (2.0 * (1.0 - rho))

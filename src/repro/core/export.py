@@ -1,0 +1,65 @@
+"""Result serialization: RunResult <-> plain dict / JSON files.
+
+Lets experiment scripts persist sweeps and lets downstream analyses
+(plotting, regression tracking) consume the simulator's output without
+importing the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+from repro.core.machine import RunResult
+
+
+def result_to_dict(res: RunResult) -> Dict[str, Any]:
+    """Flatten a RunResult into JSON-serializable primitives."""
+    return {
+        "app": res.app,
+        "system": res.system,
+        "prefetch": res.prefetch,
+        "exec_time_pcycles": res.exec_time,
+        "breakdown_pcycles": dict(res.breakdown),
+        "swapout_mean_pcycles": res.swapout_mean,
+        "swapout_count": res.metrics.swapout.n,
+        "ring_hit_rate": res.ring_hit_rate,
+        "disk_hit_latency_pcycles": res.disk_hit_latency,
+        "combining_mean": res.combining.mean,
+        "combining_max": res.combining.max,
+        "events_processed": res.events_processed,
+        "network_bytes": res.network_bytes,
+        "counts": res.metrics.counts.as_dict(),
+        "extras": dict(res.extras),
+        "config": {
+            "n_nodes": res.cfg.n_nodes,
+            "n_io_nodes": res.cfg.n_io_nodes,
+            "memory_per_node": res.cfg.memory_per_node,
+            "frames_per_node": res.cfg.frames_per_node,
+            "min_free_frames": res.cfg.min_free_frames,
+            "ring_channels": res.cfg.ring_channels,
+            "ring_channel_bytes": res.cfg.ring_channel_bytes,
+            "disk_cache_bytes": res.cfg.disk_cache_bytes,
+            "seed": res.cfg.seed,
+        },
+    }
+
+
+def save_results(path: "Path | str", results: Iterable[RunResult]) -> int:
+    """Write results to a JSON file; returns how many were written."""
+    payload: List[Dict[str, Any]] = [result_to_dict(r) for r in results]
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(payload)
+
+
+def load_results(path: "Path | str") -> List[Dict[str, Any]]:
+    """Read back a results file written by :func:`save_results`."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a list of results")
+    for entry in data:
+        missing = {"app", "system", "prefetch", "exec_time_pcycles"} - set(entry)
+        if missing:
+            raise ValueError(f"{path}: result missing keys {sorted(missing)}")
+    return data

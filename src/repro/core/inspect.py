@@ -1,0 +1,123 @@
+"""Post-run machine inspection: per-component utilization and counters.
+
+``machine_report`` renders what a systems paper's "simulator internals"
+appendix would show — bus/link/disk utilizations, controller cache
+activity, ring channel statistics, TLB hit rates, frame-pool stalls —
+from the live component objects after a run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.machine import Machine
+from repro.core.report import render_table
+
+
+def machine_report(machine: Machine, exec_time: float) -> str:
+    """Human-readable component report for a finished run."""
+    if exec_time <= 0:
+        raise ValueError("exec_time must be positive")
+    sections: List[str] = []
+
+    rows = []
+    for node in machine.nodes:
+        rows.append(
+            [
+                str(node.index),
+                "yes" if node.is_io_node else "",
+                f"{node.mem_bus.utilization(exec_time):.1%}",
+                f"{node.io_bus.utilization(exec_time):.1%}",
+                f"{node.tlb.hit_rate:.1%}",
+                f"{node.cache.hit_rate:.1%}",
+                f"{node.frames.n_free}",
+                f"{node.frames.stall.mean / 1e3:.1f}K",
+                f"{node.cpu.stats['visits']}",
+            ]
+        )
+    sections.append(
+        render_table(
+            "Per-node utilization",
+            ["node", "I/O", "mem bus", "I/O bus", "TLB hit", "$ hit",
+             "free", "stall", "visits"],
+            rows,
+        )
+    )
+
+    rows = []
+    for i, (disk, ctrl) in enumerate(zip(machine.disks, machine.controllers)):
+        rows.append(
+            [
+                f"disk{i}",
+                f"{disk.utilization(exec_time):.1%}",
+                str(disk.n_ops),
+                str(disk.pages_moved),
+                f"{ctrl.stats['read_hits']}/{ctrl.stats['read_misses']}",
+                str(ctrl.stats["writes_accepted"]),
+                str(ctrl.stats["writes_nacked"]),
+                f"{ctrl.combining.mean:.2f}",
+            ]
+        )
+    sections.append(
+        render_table(
+            "Disks and controllers",
+            ["disk", "util", "ops", "pages", "hits/misses", "writes",
+             "NACKs", "combining"],
+            rows,
+        )
+    )
+
+    sections.append(
+        render_table(
+            "Mesh network",
+            ["bytes sent", "mean latency", "max link util"],
+            [[
+                f"{machine.network.bytes_sent:,}",
+                f"{machine.network.latency.mean:.0f} pcycles",
+                f"{machine.network.max_link_utilization(exec_time):.1%}",
+            ]],
+        )
+    )
+
+    if machine.ring is not None:
+        rows = []
+        for ch in machine.ring.channels:
+            if ch.stats["insertions"] == 0:
+                continue
+            rows.append(
+                [
+                    str(ch.index),
+                    str(ch.owner),
+                    str(ch.stats["insertions"]),
+                    str(ch.stats["removals"]),
+                    str(ch.stats["full_waits"]),
+                    str(ch.n_stored),
+                ]
+            )
+        if rows:
+            sections.append(
+                render_table(
+                    "NWCache ring channels",
+                    ["channel", "owner", "inserts", "removes", "full waits",
+                     "stored"],
+                    rows,
+                )
+            )
+        rows = []
+        for node, iface in sorted(machine.interfaces.items()):
+            rows.append(
+                [
+                    str(node),
+                    str(iface.stats["notifications"]),
+                    str(iface.stats["drained_pages"]),
+                    str(iface.stats["claims"]),
+                ]
+            )
+        sections.append(
+            render_table(
+                "NWCache interfaces (I/O nodes)",
+                ["node", "notified", "drained", "victim claims"],
+                rows,
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,274 @@
+"""Machine assembly: build and run a (standard | NWCache) multiprocessor.
+
+``Machine`` wires every substrate together exactly as in Figures 1/2 of
+the paper: per-node CPU/TLB/cache/memory/buses, the wormhole mesh, disks
+with controllers at the I/O-enabled nodes, and — on the NWCache machine —
+the optical ring with one NWC interface per I/O node (the interfaces at
+compute-only nodes have no queues or drains and are represented by the
+ring access paths themselves).
+
+``machine.run(app)`` executes a workload to completion and returns a
+:class:`RunResult` with the execution-time breakdown and all the
+measurements the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.base import Workload
+from repro.config import SimConfig
+from repro.disk import Disk, DiskController, FileSystem, PrefetchMode
+from repro.hw import (
+    CacheModel,
+    FramePool,
+    MeshNetwork,
+    Node,
+    TimeAccount,
+    Tlb,
+    make_io_bus,
+    make_memory_bus,
+)
+from repro.hw.cpu import Cpu
+from repro.metrics import Metrics
+from repro.optical import NWCacheInterface, OpticalRing
+from repro.optical.interface import DRAIN_MOST_LOADED
+from repro.osim import BarrierRegistry, PageState, SwapManager, VmSystem
+from repro.sim import Engine, RngRegistry, Tally
+
+SYSTEM_STANDARD = "standard"
+SYSTEM_NWCACHE = "nwcache"
+
+
+def io_node_ids(cfg: SimConfig) -> List[int]:
+    """Evenly-spaced I/O-enabled node ids (e.g. [0, 2, 4, 6] for 8/4)."""
+    n, k = cfg.n_nodes, cfg.n_io_nodes
+    return sorted({(i * n) // k for i in range(k)})
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    app: str
+    system: str
+    prefetch: str
+    cfg: SimConfig
+    exec_time: float                     #: pcycles, start to last CPU done
+    breakdown: Dict[str, float]          #: mean per-CPU pcycles per category
+    metrics: Metrics
+    combining: Tally                     #: merged controller write-combining
+    swapout_mean: float                  #: mean swap-out pcycles (Tables 3/4)
+    ring_hit_rate: float                 #: Table 7
+    disk_hit_latency: float              #: Table 8 (pcycles)
+    events_processed: int
+    per_cpu: List[TimeAccount] = field(default_factory=list)
+    network_bytes: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Per-category fraction of mean execution time."""
+        total = sum(self.breakdown.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.breakdown}
+        return {k: v / total for k, v in self.breakdown.items()}
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        """Execution-time improvement over ``baseline`` (paper's "%"):
+        ``1 - exec/baseline_exec``."""
+        if baseline.exec_time <= 0:
+            return 0.0
+        return 1.0 - self.exec_time / baseline.exec_time
+
+
+class Machine:
+    """A simulated multiprocessor (standard or NWCache-equipped)."""
+
+    def __init__(
+        self,
+        cfg: SimConfig,
+        system: str = SYSTEM_STANDARD,
+        prefetch: str = "optimal",
+        drain_policy: str = DRAIN_MOST_LOADED,
+    ) -> None:
+        if system not in (SYSTEM_STANDARD, SYSTEM_NWCACHE):
+            raise ValueError(f"unknown system {system!r}")
+        self.cfg = cfg
+        self.system = system
+        self.prefetch = PrefetchMode(prefetch)
+        self.engine = Engine()
+        self.rng = RngRegistry(cfg.seed)
+        self.metrics = Metrics()
+
+        eng = self.engine
+        self.network = MeshNetwork(eng, cfg)
+        self.mem_buses = [make_memory_bus(eng, cfg, n) for n in range(cfg.n_nodes)]
+        self.io_buses = [make_io_bus(eng, cfg, n) for n in range(cfg.n_nodes)]
+        self.pools = [
+            FramePool(eng, cfg.frames_per_node, cfg.min_free_frames, name=f"pool{n}")
+            for n in range(cfg.n_nodes)
+        ]
+        self.tlbs = [Tlb(cfg.tlb_entries, name=f"tlb{n}") for n in range(cfg.n_nodes)]
+        self.caches = [CacheModel(cfg, name=f"cache{n}") for n in range(cfg.n_nodes)]
+
+        # -- disk subsystem at the I/O-enabled nodes
+        self.io_nodes = io_node_ids(cfg)
+        self.fs = FileSystem(cfg, n_disks=len(self.io_nodes))
+        self.disks = [
+            Disk(eng, cfg, self.rng.stream(f"disk{i}"), name=f"disk{i}")
+            for i in range(len(self.io_nodes))
+        ]
+        self.controllers = [
+            DiskController(eng, cfg, disk, self.fs, self.prefetch, name=f"ctrl{i}")
+            for i, disk in enumerate(self.disks)
+        ]
+
+        # -- optical ring (NWCache machine only)
+        self.ring: Optional[OpticalRing] = None
+        self.interfaces: Dict[int, NWCacheInterface] = {}
+        if system == SYSTEM_NWCACHE:
+            self.ring = OpticalRing(eng, cfg)
+            for i, node in enumerate(self.io_nodes):
+                self.interfaces[node] = NWCacheInterface(
+                    eng, cfg, node, self.ring, self.controllers[i], drain_policy
+                )
+
+        # -- OS
+        self.swap = SwapManager(
+            eng,
+            cfg,
+            self.fs,
+            self.network,
+            self.mem_buses,
+            self.io_buses,
+            self.controllers,
+            disk_nodes=self.io_nodes,
+            metrics=self.metrics,
+            ring=self.ring,
+            interfaces=self.interfaces,
+        )
+        self.vm = VmSystem(
+            eng,
+            cfg,
+            self.fs,
+            self.pools,
+            self.tlbs,
+            self.caches,
+            self.network,
+            self.mem_buses,
+            self.io_buses,
+            self.swap,
+            self.metrics,
+        )
+        self.barriers = BarrierRegistry(eng, cfg.n_nodes)
+        self.cpus = [
+            Cpu(
+                eng,
+                cfg,
+                n,
+                self.caches[n],
+                self.vm,
+                self.network,
+                self.mem_buses,
+                self.barriers,
+            )
+            for n in range(cfg.n_nodes)
+        ]
+        self.vm.install_cpus(self.cpus)
+        self.nodes = [
+            Node(
+                index=n,
+                cpu=self.cpus[n],
+                tlb=self.tlbs[n],
+                cache=self.caches[n],
+                frames=self.pools[n],
+                mem_bus=self.mem_buses[n],
+                io_bus=self.io_buses[n],
+                disk=self.disks[self.io_nodes.index(n)] if n in self.io_nodes else None,
+                controller=(
+                    self.controllers[self.io_nodes.index(n)]
+                    if n in self.io_nodes
+                    else None
+                ),
+                nwc=self.interfaces.get(n),
+            )
+            for n in range(cfg.n_nodes)
+        ]
+
+    # ---------------------------------------------------------------- running
+    def load(self, app: Workload) -> range:
+        """Allocate and register the app's mmap'd file pages."""
+        pages = self.fs.allocate(app.total_pages)
+        self.vm.register_pages(pages)
+        return pages
+
+    def run(self, app: Workload, until: Optional[float] = None) -> RunResult:
+        """Execute ``app`` to completion and collect results."""
+        if app.page_size != self.cfg.page_size:
+            raise ValueError(
+                f"app page size {app.page_size} != machine {self.cfg.page_size}"
+            )
+        pages = self.load(app)
+        streams = app.streams(self.cfg.n_nodes, pages.start, self.rng)
+        if len(streams) != self.cfg.n_nodes:
+            raise ValueError("app produced wrong number of streams")
+        procs = [
+            self.engine.process(cpu.run(stream))
+            for cpu, stream in zip(self.cpus, streams)
+        ]
+        self.engine.run(until=until)
+        unfinished = [c.node for c in self.cpus if c.finished_at is None]
+        if unfinished and until is None:
+            raise RuntimeError(
+                f"simulation quiesced with CPUs {unfinished} unfinished "
+                "(model deadlock); page states: "
+                + ", ".join(
+                    f"{s.value}={self.vm.table.count_state(s)}" for s in PageState
+                )
+            )
+        self.vm.check_invariants()
+        return self._collect(app)
+
+    def _collect(self, app: Workload) -> RunResult:
+        combining = Tally()
+        for ctrl in self.controllers:
+            combining.merge(ctrl.combining)
+        starts = [c.started_at or 0.0 for c in self.cpus]
+        ends = [c.finished_at if c.finished_at is not None else self.engine.now
+                for c in self.cpus]
+        exec_time = max(ends) - min(starts)
+        ncpu = len(self.cpus)
+        breakdown = {
+            cat: sum(c.acct.times[cat] for c in self.cpus) / ncpu
+            for cat in self.cpus[0].acct.times
+        }
+        extras = {
+            "disk_utilization": (
+                sum(d.utilization(exec_time) for d in self.disks) / len(self.disks)
+                if exec_time > 0
+                else 0.0
+            ),
+            "max_link_utilization": self.network.max_link_utilization(exec_time)
+            if exec_time > 0
+            else 0.0,
+            "ring_stored_peak": float(self.ring.total_stored) if self.ring else 0.0,
+            "tlb_hit_rate": sum(t.hit_rate for t in self.tlbs) / ncpu,
+        }
+        return RunResult(
+            app=app.name,
+            system=self.system,
+            prefetch=self.prefetch.value,
+            cfg=self.cfg,
+            exec_time=exec_time,
+            breakdown=breakdown,
+            metrics=self.metrics,
+            combining=combining,
+            swapout_mean=self.metrics.swapout.mean,
+            ring_hit_rate=self.metrics.ring_hit_rate,
+            disk_hit_latency=self.metrics.disk_hit_latency.mean,
+            events_processed=self.engine.events_processed,
+            per_cpu=[c.acct for c in self.cpus],
+            network_bytes=self.network.bytes_sent,
+            extras=extras,
+        )

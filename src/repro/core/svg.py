@@ -1,0 +1,119 @@
+"""Dependency-free SVG rendering of the paper's Figures 3 and 4.
+
+Generates the stacked normalized execution-time bars (NoFree / Transit /
+Fault / TLB / Other, top-to-bottom as in the paper) as a standalone SVG
+file — no plotting library required.  Used by
+``scripts/generate_figures.py`` and handy for embedding results in docs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from repro.core import paper_data
+from repro.core.machine import RunResult
+
+#: fill colors per execution-time component (paper bar order)
+COMPONENT_COLORS = {
+    "nofree": "#d62728",   # red: frame stalls
+    "transit": "#ff7f0e",  # orange: waiting on in-flight pages
+    "fault": "#9467bd",    # purple: fault service
+    "tlb": "#8c564b",      # brown: TLB miss + shootdown
+    "other": "#7f7f7f",    # grey: busy/caches/sync
+}
+
+_BAR_W = 26
+_GAP = 10
+_GROUP_GAP = 34
+_PLOT_H = 260
+_MARGIN_L = 50
+_MARGIN_T = 46
+_MARGIN_B = 40
+
+
+def _esc(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def figure_svg(
+    pairs: Mapping[str, Tuple[RunResult, RunResult]], prefetch: str
+) -> str:
+    """Render Figure 3 (optimal) or 4 (naive) as an SVG document string."""
+    fno = 3 if prefetch == "optimal" else 4
+    apps = [a for a in paper_data.APP_ORDER if a in pairs]
+    if not apps:
+        raise ValueError("no results to draw")
+    comps = paper_data.FIGURE_COMPONENTS
+    group_w = 2 * _BAR_W + _GAP
+    width = _MARGIN_L + len(apps) * (group_w + _GROUP_GAP) + 180
+    height = _MARGIN_T + _PLOT_H + _MARGIN_B
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{_MARGIN_L}" y="20" font-size="14" font-weight="bold">'
+        f"Figure {fno}. Normalized Execution Time "
+        f"({_esc(prefetch.capitalize())} Prefetching)</text>",
+    ]
+    # y axis: gridlines at 0.25 steps of the standard total
+    max_norm = 1.0
+    for app in apps:
+        std, nwc = pairs[app]
+        base = sum(std.breakdown.values()) or 1.0
+        max_norm = max(max_norm, sum(nwc.breakdown.values()) / base)
+    scale = _PLOT_H / max_norm
+    y0 = _MARGIN_T + _PLOT_H
+    frac = 0.0
+    while frac <= max_norm + 1e-9:
+        y = y0 - frac * scale
+        parts.append(
+            f'<line x1="{_MARGIN_L - 4}" y1="{y:.1f}" '
+            f'x2="{width - 150}" y2="{y:.1f}" stroke="#ddd"/>'
+            f'<text x="{_MARGIN_L - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{frac:.2f}</text>'
+        )
+        frac += 0.25
+
+    x = _MARGIN_L + 6
+    for app in apps:
+        std, nwc = pairs[app]
+        base = sum(std.breakdown.values()) or 1.0
+        for i, res in enumerate((std, nwc)):
+            bx = x + i * (_BAR_W + _GAP)
+            y = y0
+            # stack bottom-up so the paper's top-of-bar order is kept
+            for comp in reversed(comps):
+                h = res.breakdown[comp] / base * scale
+                if h <= 0:
+                    continue
+                y -= h
+                parts.append(
+                    f'<rect x="{bx}" y="{y:.1f}" width="{_BAR_W}" '
+                    f'height="{h:.1f}" fill="{COMPONENT_COLORS[comp]}">'
+                    f"<title>{_esc(app)} "
+                    f"{'standard' if i == 0 else 'nwcache'} {comp}: "
+                    f"{res.breakdown[comp] / base:.3f}</title></rect>"
+                )
+            label = "S" if i == 0 else "N"
+            parts.append(
+                f'<text x="{bx + _BAR_W / 2:.1f}" y="{y0 + 14}" '
+                f'text-anchor="middle">{label}</text>'
+            )
+        parts.append(
+            f'<text x="{x + group_w / 2:.1f}" y="{y0 + 30}" '
+            f'text-anchor="middle" font-weight="bold">{_esc(app)}</text>'
+        )
+        x += group_w + _GROUP_GAP
+
+    # legend
+    lx = width - 140
+    ly = _MARGIN_T
+    for comp in comps:
+        parts.append(
+            f'<rect x="{lx}" y="{ly}" width="12" height="12" '
+            f'fill="{COMPONENT_COLORS[comp]}"/>'
+            f'<text x="{lx + 18}" y="{ly + 10}">{comp}</text>'
+        )
+        ly += 18
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,89 @@
+"""Parameter-sweep harness: run an experiment grid and tabulate results.
+
+Used by the ablation benches and examples; also a convenient public API
+for exploring the design space::
+
+    from repro.core.sweep import sweep
+    rows = sweep("sor", prefetch="optimal", data_scale=0.25,
+                 ring_channel_bytes=[16*1024, 64*1024, 256*1024])
+
+Exactly one keyword may be a list — the swept axis.  Each returned row
+is a flat dict (swept value + headline metrics) ready for tabulation or
+:func:`repro.core.export.save_results`-style persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.machine import RunResult
+from repro.core.report import render_table
+from repro.core.runner import BEST_MIN_FREE, experiment_config, run_experiment
+
+
+def _row(swept: str, value: Any, res: RunResult) -> Dict[str, Any]:
+    return {
+        swept: value,
+        "system": res.system,
+        "exec_mpcycles": res.exec_time / 1e6,
+        "swapout_kpcycles": res.swapout_mean / 1e3,
+        "ring_hit_rate": res.ring_hit_rate,
+        "combining": res.combining.mean,
+        "nofree_fraction": res.breakdown_fractions()["nofree"],
+        "result": res,
+    }
+
+
+def sweep(
+    app: str,
+    system: str = "nwcache",
+    prefetch: str = "optimal",
+    data_scale: float = 0.25,
+    min_free: Optional[int] = None,
+    **axes: Any,
+) -> List[Dict[str, Any]]:
+    """Run ``app`` across one swept SimConfig parameter.
+
+    Exactly one of ``axes`` must be a list/tuple of values; the rest are
+    fixed overrides applied to every point.
+    """
+    swept = [k for k, v in axes.items() if isinstance(v, (list, tuple))]
+    if len(swept) != 1:
+        raise ValueError(
+            f"exactly one swept (list-valued) parameter required, got {swept}"
+        )
+    key = swept[0]
+    values = axes.pop(key)
+    if min_free is None:
+        min_free = BEST_MIN_FREE[(system, prefetch)]
+    rows = []
+    for value in values:
+        cfg = experiment_config(
+            data_scale, min_free=min_free, **{key: value}, **axes
+        )
+        res = run_experiment(
+            app, system, prefetch, cfg=cfg, data_scale=data_scale,
+            min_free=min_free,
+        )
+        rows.append(_row(key, value, res))
+    return rows
+
+
+def tabulate(rows: List[Dict[str, Any]], title: str = "sweep") -> str:
+    """Render sweep rows as a fixed-width table."""
+    if not rows:
+        raise ValueError("no rows to tabulate")
+    key = next(iter(rows[0]))
+    header = [key, "exec Mpc", "swap-out K", "hit rate", "combining", "nofree"]
+    body = [
+        [
+            str(r[key]),
+            f"{r['exec_mpcycles']:.1f}",
+            f"{r['swapout_kpcycles']:.1f}",
+            f"{r['ring_hit_rate']:.1%}",
+            f"{r['combining']:.2f}",
+            f"{r['nofree_fraction']:.1%}",
+        ]
+        for r in rows
+    ]
+    return render_table(title, header, body)

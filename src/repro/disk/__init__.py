@@ -1,0 +1,14 @@
+"""Disk subsystem: parallel file system, disk mechanics, controllers.
+
+Pages (= disk blocks, per the paper's footnote 2) are stored in groups of
+32 consecutive pages, with groups assigned round-robin to the disks of
+the I/O-enabled nodes.  Each disk has a controller with a small cache
+(16 KB default) that services page reads (with optimal or naive
+prefetching) and page swap-outs (ACK/NACK/OK protocol, write combining).
+"""
+
+from repro.disk.controller import DiskController, PrefetchMode
+from repro.disk.disk import Disk
+from repro.disk.filesystem import FileSystem
+
+__all__ = ["Disk", "DiskController", "FileSystem", "PrefetchMode"]

@@ -1,0 +1,80 @@
+"""The parallel file system: page-to-disk placement.
+
+Per Section 3.1 of the paper: *"pages are stored in groups of 32
+consecutive pages.  The parallel file system assigns each of these
+groups to a different disk in round-robin fashion."*  Within a group,
+pages occupy consecutive disk blocks, which is what makes write
+combining of consecutive swap-outs possible.
+
+Applications ``mmap`` their files; we model that by allocating each
+application a contiguous range of file pages at machine construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import SimConfig
+
+
+class FileSystem:
+    """Maps global file page numbers to (disk, block) locations."""
+
+    def __init__(self, cfg: SimConfig, n_disks: int) -> None:
+        if n_disks < 1:
+            raise ValueError(f"need at least one disk, got {n_disks}")
+        self.cfg = cfg
+        self.n_disks = n_disks
+        self._next_page = 0
+
+    # -- allocation -----------------------------------------------------------
+    def allocate(self, npages: int) -> range:
+        """Reserve ``npages`` consecutive file pages; returns their ids.
+
+        Allocations are group-aligned so distinct files never share a
+        striping group (and hence never share disk blocks).
+        """
+        if npages < 1:
+            raise ValueError(f"npages must be >= 1, got {npages}")
+        g = self.cfg.pages_per_group
+        start = ((self._next_page + g - 1) // g) * g
+        self._next_page = start + npages
+        return range(start, start + npages)
+
+    @property
+    def pages_allocated(self) -> int:
+        """High-water mark of allocated page ids."""
+        return self._next_page
+
+    # -- placement ------------------------------------------------------------
+    def locate(self, page: int) -> Tuple[int, int]:
+        """``(disk index, block number)`` storing ``page``."""
+        if page < 0:
+            raise ValueError(f"negative page id {page}")
+        g = self.cfg.pages_per_group
+        group, offset = divmod(page, g)
+        disk = group % self.n_disks
+        block = (group // self.n_disks) * g + offset
+        return disk, block
+
+    def disk_of(self, page: int) -> int:
+        """Disk index storing ``page``."""
+        return self.locate(page)[0]
+
+    def block_of(self, page: int) -> int:
+        """Block number of ``page`` on its disk."""
+        return self.locate(page)[1]
+
+    def consecutive_on_disk(self, page_a: int, page_b: int) -> bool:
+        """True when ``page_b`` is the disk block right after ``page_a``.
+
+        Holds exactly when the pages are consecutive *and* in the same
+        striping group (group boundaries jump to another disk).
+        """
+        if page_b != page_a + 1:
+            return False
+        return page_a // self.cfg.pages_per_group == page_b // self.cfg.pages_per_group
+
+    def pages_on_disk(self, disk: int, upto_page: int) -> List[int]:
+        """All page ids < ``upto_page`` on ``disk`` (test helper)."""
+        return [p for p in range(upto_page) if self.disk_of(p) == disk]

@@ -1,0 +1,28 @@
+"""Hardware substrate: nodes, buses, mesh network, TLBs, memory, caches.
+
+Models the "traditional scalable cache-coherent multiprocessor" of the
+paper's Section 3.1: each node has a processor, TLB, write buffer,
+two-level caches, local memory, and a network interface; nodes are
+connected by a wormhole-routed mesh; I/O-enabled nodes add an I/O bus
+with a disk controller (and optionally the NWCache interface).
+"""
+
+from repro.hw.accounting import CATEGORIES, TimeAccount
+from repro.hw.bus import make_io_bus, make_memory_bus
+from repro.hw.cache import CacheModel
+from repro.hw.memory import FramePool
+from repro.hw.network import MeshNetwork
+from repro.hw.node import Node
+from repro.hw.tlb import Tlb
+
+__all__ = [
+    "CATEGORIES",
+    "CacheModel",
+    "FramePool",
+    "MeshNetwork",
+    "Node",
+    "TimeAccount",
+    "Tlb",
+    "make_io_bus",
+    "make_memory_bus",
+]

@@ -1,0 +1,56 @@
+"""Per-processor execution-time accounting.
+
+The paper's Figures 3 and 4 split execution time into five components
+(from the top of each bar):
+
+* ``nofree``  — stall for lack of free page frames ("NoFree")
+* ``transit`` — waiting for another node to finish bringing a page in
+* ``fault``   — page-fault service overhead ("Fault")
+* ``tlb``     — TLB miss + TLB shootdown overhead
+* ``other``   — everything not related to VM management: processor busy,
+  cache misses, and synchronization ("Others")
+
+Every suspension point in the CPU/VM code charges elapsed simulated time
+to exactly one category via a :class:`TimeAccount`, so the categories sum
+to each processor's total execution time by construction (asserted in
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Category keys, in the paper's bar order (top to bottom).
+CATEGORIES: Tuple[str, ...] = ("nofree", "transit", "fault", "tlb", "other")
+
+
+class TimeAccount:
+    """Accumulates per-category simulated time for one processor."""
+
+    __slots__ = ("times",)
+
+    def __init__(self) -> None:
+        self.times: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+
+    def charge(self, category: str, dt: float) -> None:
+        """Add ``dt`` pcycles to ``category``."""
+        if dt < 0:
+            raise ValueError(f"negative charge: {dt}")
+        self.times[category] += dt  # KeyError on bad category is intentional
+
+    def total(self) -> float:
+        """Sum over all categories."""
+        return sum(self.times.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of the per-category times."""
+        return dict(self.times)
+
+    def merge(self, other: "TimeAccount") -> None:
+        """Accumulate another account into this one (for machine totals)."""
+        for cat, dt in other.times.items():
+            self.times[cat] += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{c}={v:.3g}" for c, v in self.times.items())
+        return f"TimeAccount({parts})"

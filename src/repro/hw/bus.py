@@ -1,0 +1,38 @@
+"""Memory and I/O buses.
+
+Both are single-master-at-a-time bandwidth pipes (Table 1: memory bus
+800 MB/s, I/O bus 300 MB/s) with a small fixed arbitration overhead per
+transaction.  Contention on these buses is one of the effects the
+NWCache relieves: standard-system swap-outs cross the I/O node's memory
+bus, NWCache swap-outs do not.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimConfig
+from repro.sim import BandwidthPipe, Engine
+
+#: Fixed bus arbitration/turnaround overhead per transaction, pcycles.
+BUS_ARBITRATION_PCYCLES = 10.0
+
+
+def make_memory_bus(engine: Engine, cfg: SimConfig, node: int) -> BandwidthPipe:
+    """The local memory bus of ``node``."""
+    return BandwidthPipe(
+        engine,
+        rate=cfg.mem_bus_rate,
+        overhead=BUS_ARBITRATION_PCYCLES,
+        name=f"membus{node}",
+    )
+
+
+def make_io_bus(engine: Engine, cfg: SimConfig, node: int) -> BandwidthPipe:
+    """The I/O bus of ``node`` (present on every node; only I/O-enabled
+    nodes have a disk behind it, but the NWCache interface sits on every
+    node's I/O bus)."""
+    return BandwidthPipe(
+        engine,
+        rate=cfg.io_bus_rate,
+        overhead=BUS_ARBITRATION_PCYCLES,
+        name=f"iobus{node}",
+    )

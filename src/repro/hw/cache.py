@@ -1,0 +1,76 @@
+"""Page-granularity processor cache cost model.
+
+The paper simulates block-grain L1/L2 caches under a MINT front-end; per
+DESIGN.md we substitute an aggregated model (the repro<=2 gate): the
+processor's cache hierarchy is summarized by a *resident-page window* —
+an LRU set of the last ``l2_resident_pages`` distinct pages touched.
+
+For one application *visit* of ``n`` accesses to a page:
+
+* busy cycles = ``n * cpu_cycles_per_access`` (always spent on the CPU);
+* if the page is not in the resident window, the visit additionally
+  fetches ``miss_bytes`` from memory — a real bus (and, for remote
+  pages, network) transaction issued by the caller, which is how cache
+  misses create the memory-system contention the NWCache relieves.
+
+Writes are write-back: dirty data leaves the processor only via page
+swap-outs, which the VM layer models explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.config import SimConfig
+from repro.sim import Counter
+
+#: cache block size used to scale a visit's miss traffic, bytes
+BLOCK_BYTES = 64
+
+
+class CacheModel:
+    """Resident-page cost model for one processor."""
+
+    def __init__(self, cfg: SimConfig, name: str = "") -> None:
+        self.cfg = cfg
+        self.name = name
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = Counter()
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._resident
+
+    def visit(self, page: int, n_accesses: int) -> Tuple[float, int]:
+        """Account one visit; returns ``(busy_cycles, miss_bytes)``.
+
+        ``miss_bytes`` is 0 when the page was resident; otherwise the
+        caller must move that many bytes over the memory system.
+        """
+        if n_accesses < 0:
+            raise ValueError(f"negative access count: {n_accesses}")
+        busy = n_accesses * self.cfg.cpu_cycles_per_access
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            self.stats.add("hits")
+            return busy, 0
+        self.stats.add("misses")
+        self._resident[page] = None
+        while len(self._resident) > self.cfg.l2_resident_pages:
+            self._resident.popitem(last=False)
+        miss_bytes = max(
+            self.cfg.cold_miss_bytes,
+            min(self.cfg.page_size, n_accesses * BLOCK_BYTES),
+        )
+        miss_bytes = min(miss_bytes, self.cfg.page_size)
+        return busy, miss_bytes
+
+    def invalidate(self, page: int) -> None:
+        """Drop ``page`` from the resident window (page left memory)."""
+        self._resident.pop(page, None)
+
+    @property
+    def hit_rate(self) -> float:
+        """Resident-window hit fraction so far."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0

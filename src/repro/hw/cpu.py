@@ -1,0 +1,142 @@
+"""The processor model: executes an application reference stream.
+
+Each CPU consumes a per-processor stream of items emitted by a workload
+driver:
+
+* ``("visit", page, n_reads, n_writes, think_cycles)`` — the processor
+  performs ``n_reads + n_writes`` accesses to ``page`` plus
+  ``think_cycles`` of pure computation;
+* ``("barrier", key)`` — synchronize with all other processors.
+
+Pure-compute and bookkeeping time (busy cycles, TLB walk charges,
+shootdown interrupts) is accumulated *lazily* in a pending-time buffer
+and materialized as a single timeout whenever the processor is about to
+interact with a shared resource (bus, network, page fault, barrier) or
+the buffer exceeds ``FLUSH_QUANTUM_PCYCLES``.  This keeps hot loops at
+zero events per visit while preserving the ordering of all contended
+interactions, and guarantees that the per-category time account sums to
+the processor's execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.hw.accounting import CATEGORIES, TimeAccount
+from repro.hw.cache import CacheModel
+from repro.hw.network import MeshNetwork
+from repro.osim.sync import BarrierRegistry
+from repro.sim import BandwidthPipe, Counter, Engine
+from repro.sim.events import Event
+
+#: pending time is flushed at least this often (pcycles)
+FLUSH_QUANTUM_PCYCLES = 20_000.0
+
+#: stream item types
+Item = Tuple[Any, ...]
+
+
+class Cpu:
+    """One processor: runs a reference stream against the VM system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        node: int,
+        cache: CacheModel,
+        vm: Any,
+        network: MeshNetwork,
+        mem_buses: List[BandwidthPipe],
+        barriers: BarrierRegistry,
+    ) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.node = node
+        self.cache = cache
+        self.vm = vm
+        self.network = network
+        self.mem_buses = mem_buses
+        self.barriers = barriers
+        self.acct = TimeAccount()
+        self.stats = Counter()
+        self._pending: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self._stolen: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- lazy time ---------------------------------------------------------
+    def add_pending(self, category: str, cycles: float) -> None:
+        """Queue ``cycles`` of ``category`` time to materialize later."""
+        self._pending[category] += cycles
+
+    def steal(self, category: str, cycles: float) -> None:
+        """Another component (shootdown) consumes this CPU's cycles."""
+        self._stolen[category] += cycles
+
+    def _pending_total(self) -> float:
+        return sum(self._pending.values())
+
+    def _flush(self) -> Generator[Event, Any, None]:
+        """Materialize pending time as one timeout and charge categories."""
+        for cat, v in self._stolen.items():
+            if v:
+                self._pending[cat] += v
+                self._stolen[cat] = 0.0
+        total = self._pending_total()
+        if total > 0.0:
+            yield self.engine.timeout(total)
+            for cat in CATEGORIES:
+                v = self._pending[cat]
+                if v:
+                    self.acct.charge(cat, v)
+                    self._pending[cat] = 0.0
+
+    # -- execution ---------------------------------------------------------
+    def run(self, stream: Iterable[Item]) -> Generator[Event, Any, None]:
+        """The CPU process: execute the whole stream, then finish."""
+        self.started_at = self.engine.now
+        for item in stream:
+            kind = item[0]
+            if kind == "visit":
+                _, page, n_reads, n_writes, think = item
+                yield from self._visit(page, n_reads, n_writes, think)
+            elif kind == "barrier":
+                yield from self._flush()
+                t0 = self.engine.now
+                yield self.barriers.get(item[1]).wait()
+                self.acct.charge("other", self.engine.now - t0)
+                self.stats.add("barriers")
+            else:
+                raise ValueError(f"unknown stream item {item!r}")
+        yield from self._flush()
+        self.finished_at = self.engine.now
+
+    def _visit(
+        self, page: int, n_reads: int, n_writes: int, think: float
+    ) -> Generator[Event, Any, None]:
+        self.stats.add("visits")
+        is_write = n_writes > 0
+        home = self.vm.fast_access(self.node, page, is_write)
+        if home is None:
+            # Page fault (or wait on a page in motion): slow path.
+            yield from self._flush()
+            home = yield from self.vm.resolve(self.node, page, is_write, self.acct)
+            self.stats.add("slow_accesses")
+        busy, miss_bytes = self.cache.visit(page, n_reads + n_writes)
+        self.add_pending("other", busy + think)
+        if miss_bytes:
+            yield from self._flush()
+            t0 = self.engine.now
+            if home == self.node:
+                yield from self.mem_buses[self.node].transfer(miss_bytes)
+            else:
+                # Remote fetch: home memory bus, then the mesh back to us.
+                yield from self.mem_buses[home].transfer(miss_bytes)
+                yield from self.network.transfer(home, self.node, miss_bytes)
+                yield self.engine.timeout(self.cfg.remote_latency_pcycles)
+                self.stats.add("remote_fetches")
+            self.acct.charge("other", self.engine.now - t0)
+        if self._pending_total() >= FLUSH_QUANTUM_PCYCLES:
+            yield from self._flush()

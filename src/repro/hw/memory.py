@@ -1,0 +1,119 @@
+"""Local-memory page-frame pools.
+
+Each node owns :attr:`SimConfig.frames_per_node` physical page frames.
+The OS keeps a minimum number free (``min_free_frames``); when the pool
+dips below that threshold the node's replacement daemon is woken, and
+when the pool is *empty* a faulting processor stalls — the paper's
+"NoFree" execution-time component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.hw.accounting import TimeAccount
+from repro.sim import Engine, Tally
+from repro.sim.events import Event
+
+
+class FramePool:
+    """Free-frame pool for one node.
+
+    Frames are plain integers ``0 .. n_frames-1``.  ``alloc`` blocks while
+    the pool is empty and charges the wait to the caller's ``nofree``
+    account; ``free`` returns a frame and wakes waiters FIFO.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_frames: int,
+        min_free: int,
+        name: str = "",
+    ) -> None:
+        if n_frames < 1:
+            raise ValueError(f"need at least one frame, got {n_frames}")
+        if not (1 <= min_free <= n_frames):
+            raise ValueError(f"min_free {min_free} out of range [1, {n_frames}]")
+        self.engine = engine
+        self.n_frames = n_frames
+        self.min_free = min_free
+        self.name = name
+        self._free: Deque[int] = deque(range(n_frames))
+        self._waiters: Deque[Event] = deque()
+        self._low_watermark_event: Optional[Event] = None
+        #: observed NoFree stall durations
+        self.stall = Tally()
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def n_free(self) -> int:
+        """Frames currently free."""
+        return len(self._free)
+
+    @property
+    def n_waiting(self) -> int:
+        """Processors stalled waiting for a frame."""
+        return len(self._waiters)
+
+    def below_min(self) -> bool:
+        """True when the daemon should be replenishing."""
+        return self.n_free < self.min_free
+
+    # -- daemon wakeup --------------------------------------------------------
+    def wait_low(self) -> Event:
+        """Event that fires when the pool (next) dips below ``min_free``.
+
+        If the pool is already low the event fires immediately.
+        """
+        ev = self.engine.event()
+        if self.below_min():
+            ev.succeed()
+        else:
+            if self._low_watermark_event is None or self._low_watermark_event.triggered:
+                self._low_watermark_event = self.engine.event()
+            self._low_watermark_event.callbacks.append(lambda _e: ev.succeed())
+        return ev
+
+    def _notify_low(self) -> None:
+        if (
+            self.below_min()
+            and self._low_watermark_event is not None
+            and not self._low_watermark_event.triggered
+        ):
+            self._low_watermark_event.succeed()
+
+    # -- alloc / free ------------------------------------------------------
+    def alloc(self, acct: Optional[TimeAccount] = None) -> Generator[Event, Any, int]:
+        """Allocate one frame, stalling (NoFree) while none are free."""
+        if not self._free:
+            t0 = self.engine.now
+            ev = self.engine.event()
+            self._waiters.append(ev)
+            frame = yield ev
+            dt = self.engine.now - t0
+            self.stall.record(dt)
+            if acct is not None:
+                acct.charge("nofree", dt)
+            self._notify_low()
+            return frame
+        frame = self._free.popleft()
+        self.stall.record(0.0)
+        self._notify_low()
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return ``frame`` to the pool (hands off to a stalled waiter)."""
+        if not (0 <= frame < self.n_frames):
+            raise ValueError(f"bogus frame id {frame}")
+        if frame in self._free:
+            raise ValueError(f"double free of frame {frame}")
+        if self._waiters:
+            self._waiters.popleft().succeed(frame)
+        else:
+            self._free.append(frame)
+
+    def snapshot(self) -> List[int]:
+        """Currently free frame ids (for tests)."""
+        return list(self._free)

@@ -1,0 +1,126 @@
+"""Wormhole-routed 2D mesh interconnect with per-link contention.
+
+Nodes are laid out row-major on a ``rows x cols`` mesh and messages use
+dimension-order (XY) routing: first along the row, then along the
+column.  A message acquires each unidirectional link on its path in path
+order, holds all of them for the serialization time (virtual
+cut-through approximation of wormhole flit pipelining), then releases
+them.  Because XY routing's channel-dependency graph is acyclic, the
+ordered acquisition cannot deadlock.
+
+The paper routes *all* traffic of the standard machine through this mesh
+(page reads, swap-outs, control messages); the NWCache machine moves
+swap-outs and ring-hit reads off of it, which is the "contention" benefit
+quantified in Table 8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.config import SimConfig
+from repro.sim import Engine, Resource, Tally
+from repro.sim.events import Event
+
+Link = Tuple[int, int]  #: directed link (from_node, to_node)
+
+
+class MeshNetwork:
+    """The multiprocessor's wormhole mesh.
+
+    Parameters
+    ----------
+    engine, cfg:
+        Simulation engine and machine configuration (uses ``mesh_dims``,
+        ``link_rate``, ``router_delay_pcycles``,
+        ``message_overhead_pcycles``).
+    """
+
+    def __init__(self, engine: Engine, cfg: SimConfig) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.rows, self.cols = cfg.mesh_dims
+        self._links: Dict[Link, Resource] = {}
+        for node in range(cfg.n_nodes):
+            r, c = divmod(node, self.cols)
+            for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                    nbr = nr * self.cols + nc
+                    self._links[(node, nbr)] = Resource(
+                        engine, capacity=1, name=f"link{node}->{nbr}"
+                    )
+        #: total bytes injected (traffic accounting, Table 8 discussion)
+        self.bytes_sent = 0
+        #: observed end-to-end message latency
+        self.latency = Tally()
+
+    # -- routing ----------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(row, col) of ``node``."""
+        if not (0 <= node < self.cfg.n_nodes):
+            raise ValueError(f"node {node} out of range")
+        return divmod(node, self.cols)
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """The XY-routed link sequence from ``src`` to ``dst``."""
+        (r0, c0), (r1, c1) = self.coords(src), self.coords(dst)
+        path: List[Link] = []
+        cur = src
+        step = 1 if c1 > c0 else -1
+        for c in range(c0 + step, c1 + step, step) if c1 != c0 else ():
+            nxt = r0 * self.cols + c
+            path.append((cur, nxt))
+            cur = nxt
+        step = 1 if r1 > r0 else -1
+        for r in range(r0 + step, r1 + step, step) if r1 != r0 else ():
+            nxt = r * self.cols + c1
+            path.append((cur, nxt))
+            cur = nxt
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        (r0, c0), (r1, c1) = self.coords(src), self.coords(dst)
+        return abs(r0 - r1) + abs(c0 - c1)
+
+    # -- latency model ------------------------------------------------------
+    def base_latency(self, src: int, dst: int, nbytes: int) -> float:
+        """End-to-end latency with zero contention, in pcycles."""
+        h = self.hops(src, dst)
+        serialization = nbytes / self.cfg.link_rate if h else 0.0
+        return (
+            self.cfg.message_overhead_pcycles
+            + h * self.cfg.router_delay_pcycles
+            + serialization
+        )
+
+    def transfer(
+        self, src: int, dst: int, nbytes: int, priority: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Send ``nbytes`` from ``src`` to ``dst`` (generator; yields until
+        delivered).  Contention: holds every path link for the message's
+        occupancy."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        t0 = self.engine.now
+        path = self.route(src, dst)
+        requests = []
+        try:
+            for link in path:
+                req = self._links[link].request(priority)
+                requests.append(req)
+                yield req
+            yield self.engine.timeout(self.base_latency(src, dst, nbytes))
+        finally:
+            for link, req in zip(path, requests):
+                self._links[link].release(req)
+        self.bytes_sent += nbytes
+        self.latency.record(self.engine.now - t0)
+
+    # -- reporting --------------------------------------------------------
+    def max_link_utilization(self, total_time: float) -> float:
+        """Utilization of the hottest link (contention indicator)."""
+        if not self._links:
+            return 0.0
+        return max(l.utilization(total_time) for l in self._links.values())

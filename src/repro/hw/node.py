@@ -1,0 +1,41 @@
+"""Node composition: the per-node hardware bundle of Figure 1.
+
+A :class:`Node` is a plain record tying together the per-node components
+the machine builder creates (processor, TLB, cache model, local-memory
+frame pool, buses, and — on I/O-enabled nodes — the disk, its
+controller, and the NWCache interface when present).  The write buffer
+("WB") of Figure 1 is subsumed by the write-back assumption of the
+cache cost model (see :mod:`repro.hw.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.cache import CacheModel
+from repro.hw.cpu import Cpu
+from repro.hw.memory import FramePool
+from repro.hw.tlb import Tlb
+from repro.sim import BandwidthPipe
+
+
+@dataclass
+class Node:
+    """One multiprocessor node."""
+
+    index: int
+    cpu: Cpu
+    tlb: Tlb
+    cache: CacheModel
+    frames: FramePool
+    mem_bus: BandwidthPipe
+    io_bus: BandwidthPipe
+    disk: Optional[object] = None          #: Disk, on I/O-enabled nodes
+    controller: Optional[object] = None    #: DiskController, likewise
+    nwc: Optional[object] = None           #: NWCacheInterface (NWCache machine)
+
+    @property
+    def is_io_node(self) -> bool:
+        """True when a disk hangs off this node's I/O bus."""
+        return self.disk is not None

@@ -1,0 +1,77 @@
+"""Per-processor translation lookaside buffer with LRU replacement.
+
+The TLB caches virtual-to-physical page translations.  A miss costs
+``tlb_miss_pcycles`` (the page-table walk, done with the machine-wide
+page table of Section 3.1).  When a page's access rights are downgraded
+(eviction/swap-out) the OS performs a *TLB shootdown*: the initiator
+pays ``tlb_shootdown_pcycles`` and every other processor is interrupted
+(``interrupt_pcycles`` each) and drops its entry — both costs appear in
+the paper's "TLB" execution-time component.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.sim import Counter
+
+
+class Tlb:
+    """An LRU TLB over page numbers."""
+
+    def __init__(self, n_entries: int, name: str = "") -> None:
+        if n_entries < 1:
+            raise ValueError(f"need at least one TLB entry, got {n_entries}")
+        self.n_entries = n_entries
+        self.name = name
+        self._entries: "OrderedDict[int, int]" = OrderedDict()  # page -> home node
+        self.stats = Counter()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    def lookup(self, page: int) -> Optional[int]:
+        """Return the cached home node for ``page``, or None on a miss.
+
+        A hit refreshes the entry's LRU position.
+        """
+        home = self._entries.get(page)
+        if home is None:
+            self.stats.add("misses")
+            return None
+        self._entries.move_to_end(page)
+        self.stats.add("hits")
+        return home
+
+    def insert(self, page: int, home: int) -> None:
+        """Install a translation, evicting the LRU entry when full."""
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self._entries[page] = home
+            return
+        if len(self._entries) >= self.n_entries:
+            self._entries.popitem(last=False)
+            self.stats.add("evictions")
+        self._entries[page] = home
+
+    def invalidate(self, page: int) -> bool:
+        """Drop the entry for ``page`` (shootdown); True if it was present."""
+        if page in self._entries:
+            del self._entries[page]
+            self.stats.add("shootdown_invalidations")
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop everything (not used by the models; handy in tests)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Lookup hit fraction so far."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0

@@ -1,0 +1,16 @@
+"""The NWCache: optical ring network / write cache hybrid.
+
+The ring's WDM *cache channels* (one per node) carry and store pages
+swapped out by their owner node — optical delay-line storage.  The
+:class:`~repro.optical.ring.OpticalRing` models channel capacity and the
+deterministic "wait for the page to come around" read latency; the
+:class:`~repro.optical.interface.NWCacheInterface` models the per-node
+interface hardware: the per-channel FIFOs at I/O-enabled nodes, the
+most-loaded-channel drain into the disk controller cache, victim-read
+claims, and the ACK path back to the swapping node.
+"""
+
+from repro.optical.interface import NWCacheInterface
+from repro.optical.ring import CacheChannel, OpticalRing
+
+__all__ = ["CacheChannel", "NWCacheInterface", "OpticalRing"]

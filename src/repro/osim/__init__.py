@@ -1,0 +1,24 @@
+"""Operating-system model: virtual memory management.
+
+Per Section 3.1 this is the only part of the OS the simulation needs: a
+single machine-wide page table accessed with mutual exclusion, TLB
+shootdowns on downgrades, a per-node minimum of free page frames
+maintained by LRU replacement, and the page fault / swap-out paths —
+including the two NWCache modifications (the Ring bit and driving the
+NWCache interface).
+"""
+
+from repro.osim.pagetable import PageEntry, PageState, PageTable
+from repro.osim.swap import SwapManager
+from repro.osim.sync import Barrier, BarrierRegistry
+from repro.osim.vm import VmSystem
+
+__all__ = [
+    "Barrier",
+    "BarrierRegistry",
+    "PageEntry",
+    "PageState",
+    "PageTable",
+    "SwapManager",
+    "VmSystem",
+]

@@ -1,0 +1,174 @@
+"""Page swap-out paths: standard (over the mesh) and NWCache (onto the ring).
+
+Standard machine (Section 3.1): the dirty page crosses the swapping
+node's memory bus, the interconnection network, and the I/O node's
+I/O bus to the disk controller, which ACKs (page placed in its cache) or
+NACKs (cache full of swap-outs; the node re-sends after the controller's
+OK).  The frame is reusable at the ACK.
+
+NWCache machine (Section 3.2): if the node's cache channel has room, the
+page crosses the memory and I/O buses to the local NWC interface and is
+inserted on the channel; the frame is reusable *immediately* and a
+control message queues the page at the responsible I/O node's interface
+for the eventual drain to disk.  If the channel is full the swap-out
+waits for an ACK/victim-read to free a slot.
+
+Swap-out duration (Tables 3/4) is measured here: write initiation to
+frame-reusable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.config import SimConfig
+from repro.disk.controller import DiskController
+from repro.disk.filesystem import FileSystem
+from repro.hw.network import MeshNetwork
+from repro.metrics import Metrics
+from repro.optical.interface import NWCacheInterface
+from repro.optical.ring import OpticalRing
+from repro.osim.pagetable import PageEntry
+from repro.sim import BandwidthPipe, Engine
+from repro.sim.events import Event
+
+
+class SwapManager:
+    """Executes swap-outs for the VM layer."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        fs: FileSystem,
+        network: MeshNetwork,
+        mem_buses: List[BandwidthPipe],
+        io_buses: List[BandwidthPipe],
+        controllers: List[DiskController],
+        disk_nodes: List[int],
+        metrics: Metrics,
+        ring: Optional[OpticalRing] = None,
+        interfaces: Optional[Dict[int, NWCacheInterface]] = None,
+    ) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.fs = fs
+        self.network = network
+        self.mem_buses = mem_buses
+        self.io_buses = io_buses
+        self.controllers = controllers
+        self.disk_nodes = disk_nodes  #: disk index -> hosting node id
+        self.metrics = metrics
+        self.ring = ring
+        self.interfaces = interfaces or {}
+
+    @property
+    def has_ring(self) -> bool:
+        """True on the NWCache-equipped machine."""
+        return self.ring is not None
+
+    # -- helpers ----------------------------------------------------------
+    def io_node_of(self, page: int) -> int:
+        """The node hosting the disk that stores ``page``."""
+        return self.disk_nodes[self.fs.disk_of(page)]
+
+    def controller_of(self, page: int) -> DiskController:
+        """The disk controller responsible for ``page``."""
+        return self.controllers[self.fs.disk_of(page)]
+
+    # -- entry point ----------------------------------------------------------
+    def swap_out(
+        self, node: int, page: int, entry: PageEntry
+    ) -> Generator[Event, Any, str]:
+        """Swap a dirty page out; returns when the frame is reusable.
+
+        Returns ``"done"`` (frame reusable) or ``"cancelled"`` (a fault
+        reclaimed the page mid-swap; the caller must re-install it).
+        """
+        t0 = self.engine.now
+        if self.has_ring:
+            outcome = yield from self._ring_swap_out(node, page, entry)
+        else:
+            outcome = yield from self._standard_swap_out(node, page, entry)
+        if outcome == "done":
+            self.metrics.swapout.record(self.engine.now - t0)
+            self.metrics.counts.add("swapouts")
+        else:
+            self.metrics.counts.add("swap_cancels")
+        return outcome
+
+    # -- standard path -----------------------------------------------------------
+    def _standard_swap_out(
+        self, node: int, page: int, entry: PageEntry
+    ) -> Generator[Event, Any, str]:
+        ctrl = self.controller_of(page)
+        io_node = self.io_node_of(page)
+        psize = self.cfg.page_size
+        csize = self.cfg.control_msg_bytes
+        wait_total = 0.0
+        while True:
+            if entry.reclaim_requested:
+                return "cancelled"
+            # The page travels memory bus -> network -> the I/O node's
+            # memory bus -> its I/O bus (Figure 1's data path).
+            yield from self.mem_buses[node].transfer(psize)
+            if io_node != node:
+                yield from self.network.transfer(node, io_node, psize)
+                yield from self.mem_buses[io_node].transfer(psize)
+            yield from self.io_buses[io_node].transfer(psize)
+            if ctrl.try_accept_write(page):
+                # ACK back to the swapping node.
+                yield from self.network.transfer(io_node, node, csize)
+                break
+            # NACK; wait in the controller's FIFO for the OK, then re-send.
+            # A reclaim arriving during the wait cancels the swap-out.
+            self.metrics.counts.add("swap_nacks")
+            yield from self.network.transfer(io_node, node, csize)
+            t_wait = self.engine.now
+            ok = ctrl.wait_for_room()
+            reclaim = entry.reclaim_event()
+            yield self.engine.any_of([ok, reclaim])
+            if entry.reclaim_requested:
+                ctrl.cancel_wait(ok)
+                return "cancelled"
+            yield from self.network.transfer(io_node, node, csize)  # the OK
+            wait_total += self.engine.now - t_wait
+        self.metrics.swapout_wait.record(wait_total)
+        entry.to_absent()
+        return "done"
+
+    # -- NWCache path ------------------------------------------------------------
+    def _ring_swap_out(
+        self, node: int, page: int, entry: PageEntry
+    ) -> Generator[Event, Any, str]:
+        assert self.ring is not None
+        channel = self.ring.best_channel(node)
+        psize = self.cfg.page_size
+        if entry.reclaim_requested:
+            return "cancelled"
+        t_wait = self.engine.now
+        # A swap-out may start only when the node's own channel has room;
+        # a reclaim arriving during a channel-full wait cancels it.
+        slot = channel.reserve_slot()
+        if not slot.triggered:
+            reclaim = entry.reclaim_event()
+            yield self.engine.any_of([slot, reclaim])
+            if entry.reclaim_requested:
+                channel.cancel_reservation(slot)
+                return "cancelled"
+        else:
+            yield slot
+        self.metrics.swapout_wait.record(self.engine.now - t_wait)
+        # Page crosses the local memory and I/O buses to the NWC interface.
+        yield from self.mem_buses[node].transfer(psize)
+        yield from self.io_buses[node].transfer(psize)
+        yield self.engine.timeout(channel.insertion_time())
+        channel.insert(page)
+        entry.to_ring(channel=channel.index, swapper=node)
+        # Control message to the responsible I/O node's interface.
+        io_node = self.io_node_of(page)
+        iface = self.interfaces.get(io_node)
+        if iface is None:
+            raise RuntimeError(f"no NWCache interface at I/O node {io_node}")
+        iface.notify_swapout(channel=channel.index, page=page, swapper=node)
+        return "done"

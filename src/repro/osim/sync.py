@@ -1,0 +1,71 @@
+"""Barrier synchronization for the parallel applications.
+
+The workload drivers emit ``("barrier", key)`` markers between phases
+(iterations, FFT transposes, LU steps).  All processors must emit the
+same keys in the same order; the registry materializes one reusable
+:class:`Barrier` per key.
+
+Barrier wait time is charged to the "Others" execution-time component,
+matching the paper (synchronization is part of "Others").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.sim import Engine, Tally
+from repro.sim.events import Event
+
+
+class Barrier:
+    """A reusable (generational) barrier for ``parties`` processes."""
+
+    def __init__(self, engine: Engine, parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._gate: Optional[Event] = None
+        #: per-arrival wait durations (simulation diagnostics)
+        self.wait_time = Tally()
+        self.n_releases = 0
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; the event fires when all have arrived."""
+        self._arrived += 1
+        if self._arrived == self.parties:
+            # Last arrival releases everyone and resets for reuse.
+            gate = self._gate
+            self._arrived = 0
+            self._gate = None
+            self.n_releases += 1
+            ev = self.engine.event()
+            ev.succeed()
+            if gate is not None:
+                gate.succeed()
+            return ev
+        if self._gate is None:
+            self._gate = self.engine.event()
+        return self._gate
+
+
+class BarrierRegistry:
+    """Maps application barrier keys to shared :class:`Barrier` objects."""
+
+    def __init__(self, engine: Engine, parties: int) -> None:
+        self.engine = engine
+        self.parties = parties
+        self._barriers: Dict[Hashable, Barrier] = {}
+
+    def get(self, key: Hashable) -> Barrier:
+        """The barrier for ``key``, created on first use."""
+        barrier = self._barriers.get(key)
+        if barrier is None:
+            barrier = Barrier(self.engine, self.parties, name=str(key))
+            self._barriers[key] = barrier
+        return barrier
+
+    def __len__(self) -> int:
+        return len(self._barriers)

@@ -1,0 +1,332 @@
+"""Virtual-memory management: faults, replacement, victim reads.
+
+This is the paper's Section 3.1 VM model plus the two NWCache
+modifications (Ring-bit handling and driving the NWC interface):
+
+* **Fast path** (:meth:`VmSystem.fast_access`): TLB lookup; on a miss, a
+  page-table walk (``tlb_miss_pcycles``, charged lazily through the
+  CPU's pending-time mechanism).  Pages resident anywhere in the machine
+  are accessed remotely (DASH-style CC-NUMA — no second memory copy).
+* **Slow path** (:meth:`VmSystem.resolve`): the fault loop.  A page being
+  fetched by another node is a *Transit* wait; a page mid-swap-out is
+  waited on and re-resolved; a page with the Ring bit set is claimed and
+  snooped straight off the optical ring (victim caching); an absent page
+  is fetched from its disk via the standard request/response protocol.
+* **Replacement** (one daemon per node): keeps ``min_free_frames`` frames
+  free using the configured policy (the paper's LRU by default, see
+  :mod:`repro.osim.replacement`) over the node's resident pages;
+  eviction downgrades the
+  page (TLB shootdown: initiator pays ``tlb_shootdown_pcycles``, every
+  other CPU is interrupted) and swaps dirty pages out via the
+  :class:`~repro.osim.swap.SwapManager`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.config import SimConfig
+from repro.disk.filesystem import FileSystem
+from repro.hw.accounting import TimeAccount
+from repro.hw.cache import CacheModel
+from repro.hw.memory import FramePool
+from repro.hw.network import MeshNetwork
+from repro.hw.tlb import Tlb
+from repro.metrics import Metrics
+from repro.osim.pagetable import PageState, PageTable
+from repro.osim.replacement import ReplacementPolicy, make_policy
+from repro.osim.swap import SwapManager
+from repro.sim import BandwidthPipe, Engine
+from repro.sim.events import Event
+
+
+class VmSystem:
+    """Machine-wide virtual memory manager."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        fs: FileSystem,
+        pools: List[FramePool],
+        tlbs: List[Tlb],
+        caches: List[CacheModel],
+        network: MeshNetwork,
+        mem_buses: List[BandwidthPipe],
+        io_buses: List[BandwidthPipe],
+        swap: SwapManager,
+        metrics: Metrics,
+    ) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.fs = fs
+        self.pools = pools
+        self.tlbs = tlbs
+        self.caches = caches
+        self.network = network
+        self.mem_buses = mem_buses
+        self.io_buses = io_buses
+        self.swap = swap
+        self.metrics = metrics
+        self.table = PageTable(engine)
+        #: per-node resident-page replacement policy (paper: LRU)
+        self.resident: List[ReplacementPolicy] = [
+            make_policy(cfg.replacement_policy) for _ in range(cfg.n_nodes)
+        ]
+        #: CPUs, installed by the machine after construction (for cycle
+        #: stealing during shootdowns and pending-time charging)
+        self.cpus: List[Any] = []
+        self._pending_free = [0] * cfg.n_nodes
+        self._daemon_wakes: List[Optional[Event]] = [None] * cfg.n_nodes
+        for iface in swap.interfaces.values():
+            iface.ack_callback = self.ring_ack
+        for node in range(cfg.n_nodes):
+            engine.process(self._daemon(node))
+
+    # ------------------------------------------------------------------ setup
+    def install_cpus(self, cpus: List[Any]) -> None:
+        """Wire the CPUs in (after both sides exist)."""
+        if len(cpus) != self.cfg.n_nodes:
+            raise ValueError("need exactly one CPU per node")
+        self.cpus = list(cpus)
+
+    def register_pages(self, pages: range) -> None:
+        """Register an application's file pages with the page table."""
+        self.table.register(pages)
+
+    # ------------------------------------------------------------------ fast path
+    def fast_access(self, node: int, page: int, is_write: bool) -> Optional[int]:
+        """Non-blocking access attempt; returns the home node or None.
+
+        Handles TLB hit/miss bookkeeping synchronously.  A TLB miss whose
+        page-table walk finds the page resident installs the translation
+        and costs ``tlb_miss_pcycles`` (charged via the CPU's pending
+        mechanism).  Returns ``None`` when the page is not resident — the
+        CPU must then take the slow path (:meth:`resolve`).
+        """
+        tlb = self.tlbs[node]
+        home = tlb.lookup(page)
+        if home is None:
+            cpu = self.cpus[node]
+            cpu.add_pending("tlb", self.cfg.tlb_miss_pcycles)
+            entry = self.table[page]
+            if entry.state is not PageState.MEMORY:
+                return None
+            home = entry.node
+            assert home is not None
+            tlb.insert(page, home)
+        entry = self.table[page]
+        self._touch(page, home)
+        if is_write:
+            entry.dirty = True
+        return home
+
+    def _touch(self, page: int, home: int) -> None:
+        """Record an access for the home node's replacement policy."""
+        self.resident[home].touch(page)
+
+    # ------------------------------------------------------------------ slow path
+    def resolve(
+        self, node: int, page: int, is_write: bool, acct: TimeAccount
+    ) -> Generator[Event, Any, int]:
+        """Fault loop: make ``page`` resident and return its home node."""
+        entry = self.table[page]
+        while True:
+            state = entry.state
+            if state is PageState.MEMORY:
+                home = entry.node
+                assert home is not None
+                self.tlbs[node].insert(page, home)
+                self._touch(page, home)
+                if is_write:
+                    entry.dirty = True
+                return home
+            if state is PageState.INFLIGHT:
+                # Another node is bringing the page in: Transit.
+                t0 = self.engine.now
+                yield entry.settle_event()
+                acct.charge("transit", self.engine.now - t0)
+                self.metrics.counts.add("transit_waits")
+                continue
+            if state is PageState.SWAPPING:
+                # Mid-eviction: the frame still holds valid data, so ask
+                # the swap-out to cancel and re-map (swap-cache reclaim).
+                entry.request_reclaim()
+                t0 = self.engine.now
+                yield entry.settle_event()
+                acct.charge("fault", self.engine.now - t0)
+                self.metrics.counts.add("reclaim_waits")
+                continue
+            # RING or ABSENT: a fetch is needed.  The frame is allocated
+            # *before* claiming a ring page: claiming pins the page's slot,
+            # and freeing a frame may require an eviction that needs a slot
+            # on that same channel, so alloc-after-claim can deadlock.
+            frame = yield from self.pools[node].alloc(acct)  # charges nofree
+            self._kick_daemon(node)
+            state = entry.state  # may have changed during the stall
+            if state is PageState.RING:
+                iface = self.swap.interfaces.get(self.swap.io_node_of(page))
+                channel = entry.ring_channel
+                assert iface is not None and channel is not None
+                if self.cfg.victim_caching and iface.try_claim(channel, page):
+                    yield from self._fault_from_ring(node, page, entry, acct, frame)
+                    continue
+                # The drain already popped it; once the ACK lands the
+                # page is ABSENT but hot in the disk controller cache.
+                self.pools[node].free(frame)
+                t0 = self.engine.now
+                yield entry.settle_event()
+                acct.charge("fault", self.engine.now - t0)
+                continue
+            if state is not PageState.ABSENT:
+                # Another node resolved it while we stalled for the frame.
+                self.pools[node].free(frame)
+                continue
+            yield from self._fault_from_disk(node, page, entry, acct, frame)
+
+    # -- ring (victim cache) fetch ------------------------------------------------
+    def _fault_from_ring(
+        self, node: int, page: int, entry: Any, acct: TimeAccount, frame: int
+    ) -> Generator[Event, Any, None]:
+        assert self.swap.ring is not None
+        channel = self.swap.ring.channels[entry.ring_channel]
+        entry.to_inflight(node)
+        t0 = self.engine.now
+        t_fetch = self.engine.now
+        # Snoop the page off the cache channel, then cross the local
+        # I/O and memory buses into the frame.  No network, no I/O node.
+        yield self.engine.timeout(channel.read_delay(page))
+        yield from self.io_buses[node].transfer(self.cfg.page_size)
+        yield from self.mem_buses[node].transfer(self.cfg.page_size)
+        channel.remove(page)
+        # The disk copy is stale, so the page re-enters memory dirty.
+        entry.to_memory(node, frame, dirty=True)
+        self.resident[node].insert(page)
+        acct.charge("fault", self.engine.now - t_fetch)
+        self.metrics.counts.add("faults")
+        self.metrics.counts.add("ring_hits")
+        self.metrics.ring_hit_latency.record(self.engine.now - t0)
+        self.metrics.fault_latency.record(self.engine.now - t0)
+        self._kick_daemon(node)
+
+    # -- disk fetch ------------------------------------------------------------
+    def _fault_from_disk(
+        self, node: int, page: int, entry: Any, acct: TimeAccount, frame: int
+    ) -> Generator[Event, Any, None]:
+        entry.to_inflight(node)
+        t0 = self.engine.now
+        t_fetch = self.engine.now
+        ctrl = self.swap.controller_of(page)
+        io_node = self.swap.io_node_of(page)
+        psize = self.cfg.page_size
+        # Request message to the I/O node, service, data response.  The
+        # data crosses the I/O node's I/O bus *and* memory bus on its way
+        # to the network interface (Figure 1) — the crossing a ring hit
+        # avoids (Section 5, "Contention").
+        yield from self.network.transfer(node, io_node, self.cfg.control_msg_bytes)
+        result = yield from ctrl.read(page)
+        yield from self.io_buses[io_node].transfer(psize)
+        if io_node != node:
+            yield from self.mem_buses[io_node].transfer(psize)
+            yield from self.network.transfer(io_node, node, psize)
+        yield from self.mem_buses[node].transfer(psize)
+        entry.to_memory(node, frame, dirty=False)
+        self.resident[node].insert(page)
+        acct.charge("fault", self.engine.now - t_fetch)
+        latency = self.engine.now - t_fetch
+        self.metrics.counts.add("faults")
+        self.metrics.fault_latency.record(self.engine.now - t0)
+        if result == "hit":
+            self.metrics.counts.add("disk_cache_hits")
+            self.metrics.disk_hit_latency.record(latency)
+        else:
+            self.metrics.counts.add("disk_reads")
+        self._kick_daemon(node)
+
+    # ------------------------------------------------------------------ drain ACK
+    def ring_ack(self, page: int, swapper: int) -> None:
+        """Drain ACK: the page is now (dirty) in the disk controller cache;
+        free its ring slot and clear the Ring bit."""
+        entry = self.table[page]
+        if entry.state is not PageState.RING:
+            raise RuntimeError(f"ACK for page {page} in state {entry.state}")
+        assert self.swap.ring is not None
+        self.swap.ring.channels[entry.ring_channel].remove(page)
+        entry.to_absent()
+
+    # ------------------------------------------------------------------ replacement
+    def _kick_daemon(self, node: int) -> None:
+        ev = self._daemon_wakes[node]
+        if ev is not None and not ev.triggered:
+            ev.succeed()
+
+    def _frame_deficit(self, node: int) -> int:
+        pool = self.pools[node]
+        return (pool.min_free + pool.n_waiting) - (
+            pool.n_free + self._pending_free[node]
+        )
+
+    def _daemon(self, node: int) -> Generator[Event, Any, None]:
+        """Per-node replacement daemon: keep ``min_free_frames`` free."""
+        while True:
+            if self._frame_deficit(node) > 0 and len(self.resident[node]):
+                page = self.resident[node].victim()
+                self._begin_eviction(node, page)
+                continue
+            ev = self.engine.event()
+            self._daemon_wakes[node] = ev
+            yield ev
+
+    def _begin_eviction(self, node: int, page: int) -> None:
+        """Synchronous part: downgrade rights machine-wide, then spawn
+        the (possibly long) swap-out."""
+        entry = self.table[page]
+        self.resident[node].remove(page)
+        entry.to_swapping()
+        # TLB shootdown: drop translations and cached residency everywhere;
+        # the initiator pays the shootdown, everyone else an interrupt.
+        for m in range(self.cfg.n_nodes):
+            self.tlbs[m].invalidate(page)
+            self.caches[m].invalidate(page)
+        if self.cpus:
+            self.cpus[node].steal("tlb", self.cfg.tlb_shootdown_pcycles)
+            for m in range(self.cfg.n_nodes):
+                if m != node:
+                    self.cpus[m].steal("tlb", self.cfg.interrupt_pcycles)
+        self._pending_free[node] += 1
+        self.engine.process(self._evict(node, page, entry))
+
+    def _evict(self, node: int, page: int, entry: Any) -> Generator[Event, Any, None]:
+        yield self.engine.timeout(self.cfg.tlb_shootdown_pcycles)
+        frame = entry.frame
+        assert frame is not None
+        outcome = "done"
+        if entry.reclaim_requested:
+            outcome = "cancelled"  # refaulted during the shootdown window
+        elif entry.dirty:
+            outcome = yield from self.swap.swap_out(node, page, entry)
+        else:
+            entry.to_absent()
+            self.metrics.counts.add("clean_drops")
+        if outcome == "cancelled":
+            # The page never left its frame: re-map it where it was.
+            entry.reinstall(node, frame, dirty=entry.dirty)
+            self.resident[node].insert(page)
+        else:
+            self.pools[node].free(frame)
+        self._pending_free[node] -= 1
+        self._kick_daemon(node)
+
+    # ------------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        """Assert structural consistency (used by tests; cheap)."""
+        for n, res in enumerate(self.resident):
+            for page in res.pages():
+                entry = self.table[page]
+                assert entry.state is PageState.MEMORY, (n, page, entry.state)
+                assert entry.node == n, (n, page, entry.node)
+        if self.swap.ring is not None:
+            for ch in self.swap.ring.channels:
+                for page in ch.pages():
+                    entry = self.table[page]
+                    assert entry.state is PageState.RING, (page, entry.state)

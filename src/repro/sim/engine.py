@@ -1,0 +1,134 @@
+"""The discrete-event engine: virtual clock plus a binary-heap event queue.
+
+The engine is the only place simulated time advances.  Model code creates
+events through the engine's factory helpers (:meth:`Engine.timeout`,
+:meth:`Engine.event`, :meth:`Engine.process`) and the engine pops them in
+``(time, priority, insertion order)`` order, running their callbacks.
+
+Time units: the NWCache models use *processor cycles* (1 pcycle = 5 ns per
+Table 1 of the paper), but the kernel itself is unit-agnostic floats.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority used so that freshly-triggered (delay 0) events keep FIFO order.
+URGENT = 0
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Engine.step` when the event queue is exhausted."""
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (default ``0.0``).
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> def hello(eng):
+    ...     yield eng.timeout(10)
+    ...     return eng.now
+    >>> p = eng.process(hello(eng))
+    >>> eng.run()
+    >>> p.value
+    10.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        #: number of events processed so far (useful for perf reporting)
+        self.events_processed = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event` owned by this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Spawn a new process from ``generator`` and return it.
+
+        The returned :class:`Process` is itself an event that fires with
+        the generator's return value when it finishes.
+        """
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Insert a triggered event into the queue (internal)."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event; raise :class:`EmptySchedule` if none."""
+        try:
+            when, _prio, _eid, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        # An event that failed but had nobody waiting for it is a silent
+        # lost error — surface it loudly instead.
+        if not event.ok and not event._defused:
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties, or until time ``until`` is reached.
+
+        When ``until`` is given the clock is advanced exactly to ``until``
+        even if no event falls on it (mirrors SimPy semantics).
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return
+        else:
+            limit = float(until)
+            if limit < self._now:
+                raise ValueError(f"until ({limit}) is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= limit:
+                self.step()
+            self._now = limit

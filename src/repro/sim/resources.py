@@ -1,0 +1,229 @@
+"""Shared-resource primitives: servers, stores, and bandwidth pipes.
+
+These are the contention points of the NWCache models: memory buses, I/O
+buses, mesh links, disk mechanisms, controller cache slots, and ring
+channel slots are all built from the classes here.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, List, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` (fires when granted)."""
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int) -> None:
+        super().__init__(resource.engine)
+        self.resource = resource
+        self.priority = priority
+        self._key = (priority, next(resource._ticket))
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A server with ``capacity`` identical units and a FIFO wait queue.
+
+    Requests with a lower ``priority`` value are granted first; ties are
+    broken FIFO.  The default priority is 0, so a plain resource is a pure
+    FIFO server.
+
+    Examples
+    --------
+    >>> def worker(eng, res, log):
+    ...     with res.request() as req:
+    ...         yield req
+    ...         yield eng.timeout(5)
+    ...         log.append(eng.now)
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._ticket = count()
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+        #: total time-integrated busy units (for utilization reporting)
+        self._busy_integral = 0.0
+        self._last_change = engine.now
+
+    # -- bookkeeping -------------------------------------------------------
+    def _account(self) -> None:
+        now = self.engine.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, total_time: float) -> float:
+        """Mean fraction of capacity in use over ``total_time``."""
+        self._account()
+        if total_time <= 0:
+            return 0.0
+        return self._busy_integral / (total_time * self.capacity)
+
+    @property
+    def n_waiting(self) -> int:
+        """Number of requests currently queued."""
+        return len(self.queue)
+
+    # -- protocol ------------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        req = Request(self, priority)
+        self._account()
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(req)
+            req.succeed()
+        else:
+            insort(self.queue, req, key=lambda r: r._key)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit and wake the next waiter."""
+        self._account()
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an ungranted/cancelled request: drop it from the
+            # queue instead (supports abandoning a queued claim).
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise RuntimeError("release of a request not held or queued") from None
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """An unbounded (or bounded) FIFO buffer of Python objects.
+
+    ``put`` blocks only when a ``capacity`` is set and reached; ``get``
+    blocks while the store is empty.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        capacity: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; returns an event that fires when accepted."""
+        ev = Event(self.engine)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; returns an event firing with the item."""
+        ev = Event(self.engine)
+        if self.items:
+            item = self.items.popleft()
+            ev.succeed(item)
+            if self._putters:
+                putter, pending = self._putters.popleft()
+                self.items.append(pending)
+                putter.succeed()
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class BandwidthPipe:
+    """A byte-rate server: transferring ``n`` bytes holds it ``n/rate``.
+
+    Models buses and links where a transfer occupies the medium for its
+    serialization time and contending transfers queue FIFO.  An optional
+    fixed ``overhead`` (arbitration, header) is added per transfer.
+
+    Parameters
+    ----------
+    rate:
+        Bytes per time unit (here: bytes per pcycle).
+    overhead:
+        Fixed occupancy added to every transfer, in time units.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        rate: float,
+        overhead: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if overhead < 0:
+            raise ValueError(f"overhead must be >= 0, got {overhead}")
+        self.engine = engine
+        self.rate = rate
+        self.overhead = overhead
+        self.name = name
+        self._server = Resource(engine, capacity=1, name=name)
+        #: total bytes moved (for traffic accounting)
+        self.bytes_transferred = 0
+
+    def busy_time(self, nbytes: float) -> float:
+        """Occupancy of a transfer of ``nbytes`` (no queueing)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.overhead + nbytes / self.rate
+
+    def transfer(self, nbytes: float, priority: int = 0) -> Generator[Event, Any, None]:
+        """Generator: queue for the pipe, hold it for the transfer time."""
+        req = self._server.request(priority)
+        yield req
+        try:
+            yield self.engine.timeout(self.busy_time(nbytes))
+            self.bytes_transferred += nbytes
+        finally:
+            self._server.release(req)
+
+    def utilization(self, total_time: float) -> float:
+        """Fraction of ``total_time`` the pipe was busy."""
+        return self._server.utilization(total_time)
+
+    @property
+    def n_waiting(self) -> int:
+        """Transfers currently queued behind the one in service."""
+        return self._server.n_waiting

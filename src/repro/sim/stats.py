@@ -1,0 +1,176 @@
+"""Statistics accumulators for simulation outputs.
+
+All accumulators are streaming (O(1) memory) so multi-million-event runs
+stay cheap.  :class:`Tally` uses Welford's algorithm for numerically
+stable mean/variance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """A named integer counter with dict-like sub-keys.
+
+    >>> c = Counter()
+    >>> c.add("hits"); c.add("hits", 2); c["hits"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, key: str, n: int = 1) -> None:
+        """Increment ``key`` by ``n``."""
+        self._counts[key] = self._counts.get(key, 0) + n
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class Tally:
+    """Streaming sample statistics: n, mean, variance, min, max, sum."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, x: float) -> None:
+        """Add one observation."""
+        self.n += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with < 2 observations)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Tally") -> None:
+        """Fold another tally into this one (parallel Welford merge)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.total = other.total
+            self.min = other.min
+            self.max = other.max
+            return
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.total += other.total
+        self.min = min(self.min, other.min)  # type: ignore[type-var]
+        self.max = max(self.max, other.max)  # type: ignore[type-var]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tally(n={self.n}, mean={self.mean:.4g}, min={self.min}, max={self.max})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant level.
+
+    Call :meth:`update` whenever the level changes; :meth:`mean` integrates
+    the level over elapsed time.  Used for queue lengths and occupancy.
+    """
+
+    def __init__(self, t0: float = 0.0, level: float = 0.0) -> None:
+        self._t_start = t0
+        self._t_last = t0
+        self._level = level
+        self._integral = 0.0
+        self.max_level = level
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    def update(self, t: float, level: float) -> None:
+        """Record that the level became ``level`` at time ``t``."""
+        if t < self._t_last:
+            raise ValueError(f"time moved backwards: {t} < {self._t_last}")
+        self._integral += self._level * (t - self._t_last)
+        self._t_last = t
+        self._level = level
+        if level > self.max_level:
+            self.max_level = level
+
+    def mean(self, t_end: Optional[float] = None) -> float:
+        """Time-weighted mean level from t0 to ``t_end`` (default: last update)."""
+        t_end = self._t_last if t_end is None else t_end
+        span = t_end - self._t_start
+        if span <= 0:
+            return self._level
+        integral = self._integral + self._level * (t_end - self._t_last)
+        return integral / span
+
+
+class Histogram:
+    """Fixed-bin histogram over ``[lo, hi)`` with under/overflow bins."""
+
+    def __init__(self, lo: float, hi: float, nbins: int) -> None:
+        if hi <= lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi})")
+        if nbins < 1:
+            raise ValueError(f"need nbins >= 1, got {nbins}")
+        self.lo = lo
+        self.hi = hi
+        self.nbins = nbins
+        self._width = (hi - lo) / nbins
+        self.bins: List[int] = [0] * nbins
+        self.underflow = 0
+        self.overflow = 0
+        self.tally = Tally()
+
+    def record(self, x: float) -> None:
+        """Add one observation."""
+        self.tally.record(x)
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            self.bins[int((x - self.lo) / self._width)] += 1
+
+    @property
+    def n(self) -> int:
+        """Total observations, including under/overflow."""
+        return self.tally.n
+
+    def edges(self) -> Sequence[float]:
+        """Bin edges (nbins + 1 values)."""
+        return [self.lo + i * self._width for i in range(self.nbins + 1)]

@@ -1,0 +1,141 @@
+"""Cross-cutting tests over all seven Table 2 applications."""
+
+import pytest
+
+from repro.apps import APP_NAMES, make_app
+from repro.sim.rng import RngRegistry
+
+N_NODES = 4
+SCALE = 0.3
+
+
+@pytest.fixture(params=APP_NAMES)
+def app(request):
+    return make_app(request.param, scale=SCALE)
+
+
+def collect(app, n_nodes=N_NODES, base=0, seed=7):
+    return [list(s) for s in app.streams(n_nodes, base, RngRegistry(seed))]
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ValueError):
+        make_app("doom")
+
+
+def test_stream_count_matches_nodes(app):
+    streams = app.streams(N_NODES, 0, RngRegistry(0))
+    assert len(streams) == N_NODES
+
+
+def test_items_well_formed_and_in_range(app):
+    base = 32
+    for stream in collect(app, base=base):
+        assert stream, "empty stream"
+        for item in stream:
+            if item[0] == "visit":
+                _, page, r, w, think = item
+                assert base <= page < base + app.total_pages
+                assert r >= 0 and w >= 0 and (r + w) > 0 or think >= 0
+                assert think >= 0
+            else:
+                assert item[0] == "barrier"
+
+
+def test_barrier_sequences_identical_across_nodes(app):
+    streams = collect(app)
+    keys = [[i[1] for i in s if i[0] == "barrier"] for s in streams]
+    assert all(k == keys[0] for k in keys[1:])
+    assert keys[0], "no barriers emitted"
+
+
+def test_streams_deterministic_across_registries(app):
+    a = collect(app, seed=123)
+    b = collect(app, seed=123)
+    assert a == b
+
+
+def test_every_node_does_work(app):
+    for stream in collect(app):
+        visits = [i for i in stream if i[0] == "visit"]
+        assert len(visits) > 0
+
+
+def test_writes_exist_somewhere(app):
+    # every Table 2 app mmaps its file for reading AND writing
+    total_writes = sum(
+        i[3] for s in collect(app) for i in s if i[0] == "visit"
+    )
+    assert total_writes > 0
+
+
+def test_total_pages_positive_and_consistent(app):
+    assert app.total_pages > 0
+    assert app.data_bytes == app.total_pages * app.page_size
+
+
+def test_scale_shrinks_data():
+    for name in APP_NAMES:
+        big = make_app(name, scale=1.0)
+        small = make_app(name, scale=0.3)
+        assert small.total_pages < big.total_pages
+
+
+# ------------------------------------------------------------ Table 2 sizes
+PAPER_MB = {
+    "em3d": 2.5,
+    "fft": 3.1,
+    "gauss": 2.3,
+    "lu": 2.7,
+    "mg": 2.4,
+    "radix": 2.6,
+    "sor": 2.6,
+}
+
+
+@pytest.mark.parametrize("name,mb", sorted(PAPER_MB.items()))
+def test_paper_scale_data_sizes_match_table2(name, mb):
+    app = make_app(name, scale=1.0)
+    got_mb = app.data_bytes / 1e6
+    # within 40% of the paper's reported footprint (aux structures differ)
+    assert got_mb == pytest.approx(mb, rel=0.4), f"{name}: {got_mb:.2f} MB"
+
+
+def test_app_specific_patterns():
+    # gauss: one page per matrix row
+    gauss = make_app("gauss", scale=1.0)
+    assert gauss.rows_per_page == 1
+    # sor: two grids
+    sor = make_app("sor", scale=1.0)
+    assert sor.total_pages == 2 * sor.pages_per_grid
+    # fft: three matrices
+    fft = make_app("fft", scale=1.0)
+    assert fft.total_pages == 3 * fft.pages_per_matrix
+    # radix: two key arrays + histogram
+    radix = make_app("radix", scale=1.0)
+    assert radix.total_pages > 2 * radix.pages_per_array
+    # mg: hierarchy shrinks
+    mg = make_app("mg", scale=1.0)
+    assert mg.level_pages == sorted(mg.level_pages, reverse=True)
+    assert mg.n_levels >= 3
+
+
+def test_gauss_pivot_shared_across_nodes():
+    gauss = make_app("gauss", scale=0.3)
+    streams = collect(gauss)
+    # first item of every stream is the pivot-row read of iteration 0
+    firsts = {s[0][1] for s in streams}
+    assert len(firsts) == 1
+
+
+def test_radix_scatter_sequences_differ_across_nodes():
+    radix = make_app("radix", scale=0.3)
+    streams = collect(radix)
+    dst_lo = radix.pages_per_array  # pass 0 writes land in the dst array
+    seqs = []
+    for s in streams:
+        seqs.append(
+            [i[1] for i in s if i[0] == "visit" and i[3] > 0 and i[1] >= dst_lo]
+        )
+    # per-node RNG streams scatter in different orders
+    assert seqs[0] != seqs[1]

@@ -1,0 +1,51 @@
+"""Tests for workload base helpers."""
+
+import pytest
+
+from repro.apps.base import barrier, block_range, scaled_dim, visit
+
+
+def test_visit_item_shape():
+    item = visit(5, 10, 2, 99.0)
+    assert item == ("visit", 5, 10, 2, 99.0)
+
+
+def test_visit_validation():
+    with pytest.raises(ValueError):
+        visit(-1, 0, 0)
+    with pytest.raises(ValueError):
+        visit(0, -1, 0)
+    with pytest.raises(ValueError):
+        visit(0, 0, -1)
+
+
+def test_barrier_item():
+    assert barrier(("x", 1)) == ("barrier", ("x", 1))
+
+
+def test_block_range_partitions_exactly():
+    parts = [block_range(10, 3, p) for p in range(3)]
+    all_items = [i for r in parts for i in r]
+    assert sorted(all_items) == list(range(10))
+    # sizes differ by at most one
+    sizes = [len(r) for r in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_block_range_contiguous_and_ordered():
+    r0, r1 = block_range(8, 2, 0), block_range(8, 2, 1)
+    assert list(r0) == [0, 1, 2, 3]
+    assert list(r1) == [4, 5, 6, 7]
+
+
+def test_block_range_validation():
+    with pytest.raises(ValueError):
+        block_range(10, 3, 3)
+
+
+def test_scaled_dim():
+    assert scaled_dim(100, 0.5) == 50
+    assert scaled_dim(100, 1.0) == 100
+    assert scaled_dim(3, 0.01, minimum=2) == 2
+    with pytest.raises(ValueError):
+        scaled_dim(10, 0)

@@ -1,0 +1,80 @@
+"""Shared test fixtures: tiny machines and synthetic workloads."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.apps.base import Stream, Workload, barrier, block_range, visit
+from repro.config import SimConfig
+from repro.core.machine import Machine
+
+
+class SyntheticWorkload(Workload):
+    """A configurable page-walking workload for unit tests.
+
+    Each processor sweeps its own contiguous block of ``n_pages`` pages
+    ``sweeps`` times, doing ``accesses`` reads (plus writes when
+    ``write=True``) per visit, with a barrier after each sweep.
+    """
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        n_pages: int = 64,
+        sweeps: int = 2,
+        accesses: int = 64,
+        write: bool = True,
+        shared: bool = False,
+        think: float = 100.0,
+        page_size: int = 4096,
+        use_barriers: bool = True,
+    ) -> None:
+        super().__init__(page_size=page_size)
+        self.n_pages = n_pages
+        self.sweeps = sweeps
+        self.accesses = accesses
+        self.write = write
+        self.shared = shared
+        self.think = think
+        self.use_barriers = use_barriers
+
+    @property
+    def total_pages(self) -> int:
+        return self.n_pages
+
+    def streams(self, n_nodes: int, page_base: int, rng) -> List[Stream]:
+        return [self._stream(n_nodes, n, page_base) for n in range(n_nodes)]
+
+    def _stream(self, n_nodes: int, node: int, base: int) -> Stream:
+        if self.shared:
+            pages = range(self.n_pages)  # everyone touches everything
+        else:
+            pages = block_range(self.n_pages, n_nodes, node)
+        writes = self.accesses if self.write else 0
+        reads = self.accesses
+        for s in range(self.sweeps):
+            for p in pages:
+                yield visit(base + p, reads, writes, self.think)
+            if self.use_barriers:
+                yield barrier(("sweep", s))
+
+
+def tiny_machine(
+    system: str = "standard",
+    prefetch: str = "optimal",
+    **cfg_overrides,
+) -> Machine:
+    """A 4-node test machine (8 frames/node) with optional overrides."""
+    cfg = SimConfig.tiny(**cfg_overrides)
+    return Machine(cfg, system=system, prefetch=prefetch)
+
+
+@pytest.fixture
+def make_machine():
+    return tiny_machine
+
+
+@pytest.fixture
+def make_workload():
+    return SyntheticWorkload

@@ -1,0 +1,65 @@
+"""Tests for machine inspection reports and result export."""
+
+import json
+
+import pytest
+
+from repro.core.export import load_results, result_to_dict, save_results
+from repro.core.inspect import machine_report
+from tests.conftest import SyntheticWorkload, tiny_machine
+
+
+@pytest.fixture(scope="module")
+def run():
+    m = tiny_machine("nwcache")
+    res = m.run(SyntheticWorkload(n_pages=64, sweeps=2))
+    return m, res
+
+
+def test_machine_report_sections(run):
+    m, res = run
+    text = machine_report(m, res.exec_time)
+    assert "Per-node utilization" in text
+    assert "Disks and controllers" in text
+    assert "Mesh network" in text
+    assert "NWCache ring channels" in text
+    assert "NWCache interfaces" in text
+
+
+def test_machine_report_standard_has_no_ring_section():
+    m = tiny_machine("standard")
+    res = m.run(SyntheticWorkload(n_pages=48, sweeps=2))
+    text = machine_report(m, res.exec_time)
+    assert "ring channels" not in text
+
+
+def test_machine_report_validates_exec_time(run):
+    m, _ = run
+    with pytest.raises(ValueError):
+        machine_report(m, 0.0)
+
+
+def test_result_roundtrip(tmp_path, run):
+    _, res = run
+    d = result_to_dict(res)
+    assert d["app"] == "synthetic"
+    assert d["system"] == "nwcache"
+    assert d["config"]["n_nodes"] == 4
+    assert d["exec_time_pcycles"] == res.exec_time
+    path = tmp_path / "results.json"
+    assert save_results(path, [res, res]) == 2
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    assert loaded[0]["swapout_count"] == res.metrics.swapout.n
+    # file is valid plain JSON
+    json.loads(path.read_text())
+
+
+def test_load_rejects_malformed(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text('{"not": "a list"}')
+    with pytest.raises(ValueError):
+        load_results(p)
+    p.write_text('[{"app": "x"}]')
+    with pytest.raises(ValueError):
+        load_results(p)

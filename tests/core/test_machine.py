@@ -1,0 +1,84 @@
+"""Tests for machine assembly and RunResult collection."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine, io_node_ids
+from tests.conftest import SyntheticWorkload, tiny_machine
+
+
+def test_io_node_ids_are_spread():
+    cfg = SimConfig.paper()
+    assert io_node_ids(cfg) == [0, 2, 4, 6]
+    cfg2 = SimConfig.tiny()
+    assert io_node_ids(cfg2) == [0, 2]
+
+
+def test_io_node_ids_all_io():
+    cfg = SimConfig.paper(n_io_nodes=8)
+    assert io_node_ids(cfg) == list(range(8))
+
+
+def test_machine_builds_all_components():
+    m = tiny_machine("nwcache")
+    cfg = m.cfg
+    assert len(m.cpus) == cfg.n_nodes
+    assert len(m.disks) == cfg.n_io_nodes
+    assert len(m.controllers) == cfg.n_io_nodes
+    assert len(m.ring.channels) == cfg.ring_channels
+    assert set(m.interfaces) == set(m.io_nodes)
+    assert len(m.nodes) == cfg.n_nodes
+    io_flags = [n.is_io_node for n in m.nodes]
+    assert sum(io_flags) == cfg.n_io_nodes
+
+
+def test_run_returns_complete_result():
+    m = tiny_machine("nwcache")
+    res = m.run(SyntheticWorkload(n_pages=48, sweeps=2))
+    assert res.app == "synthetic"
+    assert res.system == "nwcache"
+    assert res.prefetch == "optimal"
+    assert res.exec_time > 0
+    assert set(res.breakdown) == {"nofree", "transit", "fault", "tlb", "other"}
+    assert res.events_processed > 0
+    assert len(res.per_cpu) == m.cfg.n_nodes
+    assert 0 <= res.ring_hit_rate <= 1
+    fr = res.breakdown_fractions()
+    assert sum(fr.values()) == pytest.approx(1.0)
+
+
+def test_breakdown_averages_per_cpu():
+    m = tiny_machine()
+    res = m.run(SyntheticWorkload(n_pages=48, sweeps=2))
+    n = m.cfg.n_nodes
+    for cat in res.breakdown:
+        manual = sum(a.times[cat] for a in res.per_cpu) / n
+        assert res.breakdown[cat] == pytest.approx(manual)
+
+
+def test_speedup_vs():
+    m1 = tiny_machine("standard")
+    m2 = tiny_machine("nwcache")
+    r1 = m1.run(SyntheticWorkload(n_pages=64, sweeps=2))
+    r2 = m2.run(SyntheticWorkload(n_pages=64, sweeps=2))
+    s = r2.speedup_vs(r1)
+    assert s == pytest.approx(1 - r2.exec_time / r1.exec_time)
+
+
+def test_page_size_mismatch_rejected():
+    m = tiny_machine()
+    with pytest.raises(ValueError):
+        m.run(SyntheticWorkload(n_pages=8, page_size=8192))
+
+
+def test_run_until_leaves_cpus_unfinished():
+    m = tiny_machine()
+    res = m.run(SyntheticWorkload(n_pages=64, sweeps=4), until=1000.0)
+    assert res.exec_time <= 1000.0
+
+
+def test_two_apps_on_one_machine_get_disjoint_pages():
+    m = tiny_machine()
+    a = m.load(SyntheticWorkload(n_pages=10))
+    b = m.load(SyntheticWorkload(n_pages=10))
+    assert set(a).isdisjoint(set(b))

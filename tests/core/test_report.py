@@ -1,0 +1,85 @@
+"""Tests for report rendering and paper data."""
+
+import pytest
+
+from repro.core import paper_data, report
+from repro.core.runner import run_pair
+
+
+@pytest.fixture(scope="module")
+def sor_pairs():
+    pairs = {}
+    for pf in ("optimal", "naive"):
+        pairs[pf] = {"sor": run_pair("sor", prefetch=pf, data_scale=0.1)}
+    return pairs
+
+
+def test_paper_data_complete():
+    apps = set(paper_data.APP_ORDER)
+    for table in (
+        paper_data.TABLE3_SWAPOUT_OPTIMAL_MPC,
+        paper_data.TABLE4_SWAPOUT_NAIVE_KPC,
+        paper_data.TABLE5_COMBINING_OPTIMAL,
+        paper_data.TABLE6_COMBINING_NAIVE,
+        paper_data.TABLE7_HIT_RATES_PCT,
+        paper_data.TABLE8_DISK_HIT_LATENCY_KPC,
+    ):
+        assert set(table) == apps
+
+
+def test_paper_swapout_ratios_are_large():
+    # Table 3: NWCache 1-3 orders of magnitude faster
+    for std, nwc in paper_data.TABLE3_SWAPOUT_OPTIMAL_MPC.values():
+        assert std / nwc > 10
+
+
+def test_render_table_alignment():
+    text = report.render_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "333" in text
+
+
+def test_table_swapout_renders(sor_pairs):
+    for pf, tno in (("optimal", "Table 3"), ("naive", "Table 4")):
+        text = report.table_swapout(sor_pairs[pf], pf)
+        assert tno in text
+        assert "sor" in text
+        assert "paper-Std" in text
+
+
+def test_table_combining_renders(sor_pairs):
+    text = report.table_combining(sor_pairs["optimal"], "optimal")
+    assert "Table 5" in text and "sor" in text
+    text = report.table_combining(sor_pairs["naive"], "naive")
+    assert "Table 6" in text
+
+
+def test_table_hit_rates_renders(sor_pairs):
+    naive = {"sor": sor_pairs["naive"]["sor"][1]}
+    optimal = {"sor": sor_pairs["optimal"]["sor"][1]}
+    text = report.table_hit_rates(naive, optimal)
+    assert "Table 7" in text and "sor" in text
+
+
+def test_table_disk_hit_latency_renders(sor_pairs):
+    text = report.table_disk_hit_latency(sor_pairs["naive"])
+    assert "Table 8" in text and "sor" in text
+
+
+def test_figure_breakdown_renders_and_normalizes(sor_pairs):
+    text = report.figure_breakdown(sor_pairs["optimal"], "optimal")
+    assert "Figure 3" in text
+    assert "Standard" in text and "NWCache" in text
+    # the standard bar sums to 1.000
+    std_line = next(
+        l for l in text.splitlines() if "Standard" in l and "total" not in l
+    )
+    assert "1.000" in std_line
+
+
+def test_improvement_summary(sor_pairs):
+    imp = report.improvement_summary(sor_pairs["optimal"], "optimal")
+    assert set(imp) == {"sor"}
+    std, nwc = sor_pairs["optimal"]["sor"]
+    assert imp["sor"] == pytest.approx(nwc.speedup_vs(std) * 100)

@@ -1,0 +1,100 @@
+"""Tests for the experiment runner and scaling logic."""
+
+import pytest
+
+from repro.core.runner import (
+    BEST_MIN_FREE,
+    DATA_EXPONENT,
+    experiment_config,
+    linear_scale,
+    run_experiment,
+    run_pair,
+    scaled_min_free,
+)
+
+
+def test_best_min_free_matches_section5():
+    assert BEST_MIN_FREE[("standard", "optimal")] == 12
+    assert BEST_MIN_FREE[("standard", "naive")] == 4
+    assert BEST_MIN_FREE[("nwcache", "optimal")] == 2
+    assert BEST_MIN_FREE[("nwcache", "naive")] == 2
+
+
+def test_linear_scale_respects_dimensionality():
+    assert linear_scale("sor", 0.25) == pytest.approx(0.5)    # 2D
+    assert linear_scale("mg", 0.125) == pytest.approx(0.5)    # 3D
+    assert linear_scale("radix", 0.25) == pytest.approx(0.25)  # 1D
+    with pytest.raises(ValueError):
+        linear_scale("sor", 0)
+
+
+def test_all_apps_have_exponents():
+    from repro.apps import APP_NAMES
+
+    assert set(DATA_EXPONENT) == set(APP_NAMES)
+
+
+def test_experiment_config_full_scale_is_table1():
+    cfg = experiment_config(1.0)
+    assert cfg.memory_per_node == 256 * 1024
+    assert cfg.frames_per_node == 58  # 64 minus the kernel reservation
+    assert cfg.ring_slots_per_channel == 16
+
+
+def test_experiment_config_scales_memory_and_ring():
+    cfg = experiment_config(0.25)
+    assert cfg.memory_per_node == 16 * 4096
+    assert cfg.frames_per_node == 14  # 16 minus the kernel reservation
+    assert cfg.ring_slots_per_channel == 4
+    # disk cache intentionally stays at 4 pages (combining cap)
+    assert cfg.disk_cache_pages == 4
+
+
+def test_scaled_min_free_keeps_ratio():
+    assert scaled_min_free(12, 1.0, 64) == 12
+    assert scaled_min_free(12, 0.25, 16) == 3
+    assert scaled_min_free(2, 0.25, 16) == 1
+    # never more than half the frames
+    assert scaled_min_free(12, 1.0, 10) == 5
+
+
+def test_run_experiment_applies_best_min_free():
+    res = run_experiment("sor", "standard", "optimal", data_scale=0.1)
+    # 12 scaled by 0.1 -> ceil(1.2) = 2
+    assert res.cfg.min_free_frames == 2
+    res2 = run_experiment("sor", "nwcache", "optimal", data_scale=0.1)
+    assert res2.cfg.min_free_frames == 1
+
+
+def test_run_experiment_accepts_prebuilt_workload():
+    from repro.apps import make_app
+
+    app = make_app("sor", scale=0.3)
+    res = run_experiment(app, "standard", "optimal", data_scale=0.1)
+    assert res.app == "sor"
+
+
+def test_run_pair_returns_both_systems():
+    std, nwc = run_pair("sor", prefetch="optimal", data_scale=0.1)
+    assert std.system == "standard"
+    assert nwc.system == "nwcache"
+    assert std.app == nwc.app == "sor"
+
+
+def test_run_experiment_unknown_system():
+    with pytest.raises(KeyError):
+        run_experiment("sor", "bogus", "optimal", data_scale=0.1)
+
+
+def test_min_free_override_is_scaled_with_memory():
+    # explicit min_free is interpreted at paper scale and scaled down
+    res = run_experiment("sor", "standard", "optimal", data_scale=0.2, min_free=5)
+    assert res.cfg.min_free_frames == 1  # ceil(5 * 0.2)
+
+
+def test_explicit_cfg_wins_over_scale():
+    from repro.config import SimConfig
+
+    cfg = SimConfig.tiny()
+    res = run_experiment("sor", "standard", "optimal", cfg=cfg, min_free=2)
+    assert res.cfg.n_nodes == 4

@@ -1,0 +1,55 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.runner import run_pair
+from repro.core.svg import COMPONENT_COLORS, figure_svg
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return {"sor": run_pair("sor", prefetch="optimal", data_scale=0.1)}
+
+
+def test_svg_is_well_formed_xml(pairs):
+    svg = figure_svg(pairs, "optimal")
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_svg_contains_bars_and_legend(pairs):
+    svg = figure_svg(pairs, "optimal")
+    assert "Figure 3" in svg
+    assert "sor" in svg
+    for color in COMPONENT_COLORS.values():
+        assert color in svg
+    # two bars labelled S and N
+    assert ">S</text>" in svg and ">N</text>" in svg
+
+
+def test_svg_naive_is_figure4(pairs_naive=None):
+    pairs = {"sor": run_pair("sor", prefetch="naive", data_scale=0.1)}
+    assert "Figure 4" in figure_svg(pairs, "naive")
+
+
+def test_svg_rejects_empty():
+    with pytest.raises(ValueError):
+        figure_svg({}, "optimal")
+
+
+def test_svg_bar_heights_reflect_improvement(pairs):
+    """The NWCache bar's total rect height is below the standard bar's."""
+    svg = figure_svg(pairs, "optimal")
+    root = ET.fromstring(svg)
+    ns = {"s": "http://www.w3.org/2000/svg"}
+    rects = [r for r in root.findall(".//s:rect", ns) if r.find("s:title", ns) is not None]
+    std_h = sum(float(r.get("height")) for r in rects
+                if "standard" in r.find("s:title", ns).text)
+    nwc_h = sum(float(r.get("height")) for r in rects
+                if "nwcache" in r.find("s:title", ns).text)
+    std, nwc = pairs["sor"]
+    assert std_h > nwc_h
+    expected_ratio = nwc.exec_time / std.exec_time
+    assert nwc_h / std_h == pytest.approx(expected_ratio, rel=0.1)

@@ -1,0 +1,64 @@
+"""Tests for the sweep harness and the ASCII figure bars."""
+
+import pytest
+
+from repro.core.report import figure_bars
+from repro.core.runner import run_pair
+from repro.core.sweep import sweep, tabulate
+
+
+@pytest.fixture(scope="module")
+def sor_pair():
+    return {"sor": run_pair("sor", prefetch="optimal", data_scale=0.1)}
+
+
+def test_figure_bars_renders(sor_pair):
+    text = figure_bars(sor_pair, "optimal", width=40)
+    assert "Figure 3 (bars)" in text
+    lines = [l for l in text.splitlines() if "|" in l]
+    assert len(lines) == 2  # std + nwc
+    std_bar = lines[0].split("|")[1]
+    # the standard bar is normalized to full width (rounding slack)
+    assert abs(len(std_bar) - 40) <= 3
+    # nwcache bar is shorter (it wins)
+    nwc_bar = lines[1].split("|")[1]
+    assert len(nwc_bar) < len(std_bar)
+
+
+def test_sweep_requires_exactly_one_axis():
+    with pytest.raises(ValueError):
+        sweep("sor", ring_channel_bytes=16 * 1024)  # no list
+    with pytest.raises(ValueError):
+        sweep("sor", ring_channel_bytes=[1, 2], disk_cache_bytes=[1, 2])
+
+
+def test_sweep_runs_each_point():
+    rows = sweep(
+        "sor",
+        system="nwcache",
+        prefetch="optimal",
+        data_scale=0.1,
+        ring_channel_bytes=[2 * 4096, 8 * 4096],
+    )
+    assert len(rows) == 2
+    assert rows[0]["ring_channel_bytes"] == 2 * 4096
+    assert all(r["exec_mpcycles"] > 0 for r in rows)
+    assert rows[0]["result"].cfg.ring_slots_per_channel == 2
+
+
+def test_sweep_more_ring_does_not_hurt():
+    rows = sweep(
+        "sor",
+        data_scale=0.1,
+        ring_channel_bytes=[2 * 4096, 16 * 4096],
+    )
+    assert rows[1]["exec_mpcycles"] <= rows[0]["exec_mpcycles"] * 1.1
+
+
+def test_tabulate():
+    rows = sweep("sor", data_scale=0.1, ring_channel_bytes=[2 * 4096])
+    text = tabulate(rows, title="ring sweep")
+    assert "ring sweep" in text
+    assert "8192" in text
+    with pytest.raises(ValueError):
+        tabulate([])

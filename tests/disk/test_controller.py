@@ -1,0 +1,212 @@
+"""Tests for the disk controller: cache, protocol, combining, prefetch."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.disk.controller import DiskController, PrefetchMode
+from repro.disk.disk import Disk
+from repro.disk.filesystem import FileSystem
+from repro.sim import Engine, RngRegistry
+
+
+def make_ctrl(prefetch=PrefetchMode.NAIVE, **cfg_kw):
+    cfg = SimConfig.paper(**cfg_kw)  # 4-page controller cache
+    eng = Engine()
+    fs = FileSystem(cfg, n_disks=1)
+    disk = Disk(eng, cfg, RngRegistry(1).stream("d"))
+    ctrl = DiskController(eng, cfg, disk, fs, prefetch, name="c0")
+    return eng, cfg, ctrl
+
+
+# ------------------------------------------------------------------ writes
+def test_accept_write_until_full():
+    eng, cfg, ctrl = make_ctrl()
+    for p in range(cfg.disk_cache_pages):
+        assert ctrl.try_accept_write(p * 50)  # scattered: no combining
+    assert ctrl.n_dirty == cfg.disk_cache_pages
+    assert not ctrl.has_room_for_write()
+    assert ctrl.try_accept_write(999) is False  # NACK
+    assert ctrl.stats["writes_nacked"] == 1
+
+
+def test_write_overwrites_same_page_in_place():
+    eng, cfg, ctrl = make_ctrl()
+    assert ctrl.try_accept_write(5)
+    assert ctrl.try_accept_write(5)
+    assert ctrl.n_dirty == 1
+    assert ctrl.stats["writes_accepted"] == 2
+
+
+def test_write_evicts_clean_page():
+    eng, cfg, ctrl = make_ctrl()
+    ctrl._insert_clean(1000)
+    for p in range(cfg.disk_cache_pages - 1):
+        assert ctrl.try_accept_write(p * 50)
+    assert ctrl.try_accept_write(999)  # evicts the clean page
+    assert not ctrl.is_cached(1000)
+
+
+def test_flusher_writes_dirty_and_fires_ok():
+    eng, cfg, ctrl = make_ctrl()
+    acks = []
+
+    def swapper():
+        for p in range(cfg.disk_cache_pages):
+            assert ctrl.try_accept_write(p * 50)
+        assert not ctrl.try_accept_write(999)
+        ok = ctrl.wait_for_room()
+        yield ok
+        acks.append(eng.now)
+        assert ctrl.try_accept_write(999)
+
+    eng.process(swapper())
+    eng.run()
+    assert len(acks) == 1
+    assert ctrl.stats["flush_ops"] >= 1
+    # Eventually all dirty data reaches the disk.
+    assert ctrl.n_dirty == 0
+
+
+def test_combining_consecutive_pages_one_disk_write():
+    eng, cfg, ctrl = make_ctrl()
+
+    def swapper():
+        # Pages 10..13 are consecutive on disk -> single combined write.
+        for p in (10, 11, 12, 13):
+            assert ctrl.try_accept_write(p)
+        yield eng.timeout(0)
+
+    eng.process(swapper())
+    eng.run()
+    assert ctrl.combining.max == cfg.disk_cache_pages
+    assert ctrl.stats["flush_pages"] == 4
+
+
+def test_combining_run_respects_group_boundary():
+    eng, cfg, ctrl = make_ctrl()
+    g = cfg.pages_per_group
+
+    def swapper():
+        assert ctrl.try_accept_write(g - 1)
+        assert ctrl.try_accept_write(g)  # next page, different group/disk run
+        yield eng.timeout(0)
+
+    eng.process(swapper())
+    eng.run()
+    # two separate writes of one page each
+    assert ctrl.combining.max == 1
+    assert ctrl.combining.n == 2
+
+
+def test_flushed_pages_stay_cached_clean():
+    eng, cfg, ctrl = make_ctrl()
+
+    def swapper():
+        assert ctrl.try_accept_write(7)
+        yield eng.timeout(10_000_000)
+
+    eng.process(swapper())
+    eng.run()
+    assert ctrl.is_cached(7)
+    assert ctrl.n_dirty == 0
+
+
+# ------------------------------------------------------------------ reads
+def test_read_miss_then_hit():
+    eng, cfg, ctrl = make_ctrl()
+    results = []
+
+    def reader():
+        r1 = yield from ctrl.read(40)
+        r2 = yield from ctrl.read(40)
+        results.extend([r1, r2])
+
+    eng.process(reader())
+    eng.run()
+    assert results == ["miss", "hit"]
+
+
+def test_optimal_prefetch_always_hits_without_disk():
+    eng, cfg, ctrl = make_ctrl(prefetch=PrefetchMode.OPTIMAL)
+    results = []
+
+    def reader():
+        for p in (1, 500, 9999):
+            r = yield from ctrl.read(p)
+            results.append((r, eng.now))
+
+    eng.process(reader())
+    eng.run()
+    assert all(r == "hit" for r, _ in results)
+    assert ctrl.disk.n_ops == 0
+    # each read costs only the controller overhead
+    assert results[0][1] == pytest.approx(cfg.controller_overhead_pcycles)
+
+
+def test_naive_prefetch_fills_following_pages():
+    eng, cfg, ctrl = make_ctrl()
+
+    def reader():
+        yield from ctrl.read(10)
+        yield eng.timeout(50_000_000)  # let prefetch finish
+
+    eng.process(reader())
+    eng.run()
+    # pages 11, 12, 13 prefetched (cache holds 4)
+    assert ctrl.is_cached(11)
+    assert ctrl.stats["prefetch_pages"] == cfg.disk_cache_pages - 1
+
+
+def test_naive_prefetch_does_not_evict_dirty():
+    eng, cfg, ctrl = make_ctrl()
+
+    def go():
+        for p in (100, 150, 200):  # 3 of 4 slots dirty
+            assert ctrl.try_accept_write(p)
+        yield from ctrl.read(10)   # fills the last slot
+        yield eng.timeout(100_000_000)
+        assert ctrl.n_dirty <= 3
+
+    eng.process(go())
+    eng.run()
+    # the three dirty pages must never have been evicted before flushing
+    assert ctrl.stats["writes_nacked"] == 0
+
+
+def test_read_of_dirty_page_hits():
+    eng, cfg, ctrl = make_ctrl()
+    results = []
+
+    def go():
+        assert ctrl.try_accept_write(77)
+        r = yield from ctrl.read(77)
+        results.append(r)
+
+    eng.process(go())
+    eng.run()
+    assert results == ["hit"]
+
+
+def test_read_during_prefetch_waits_and_counts_as_miss():
+    eng, cfg, ctrl = make_ctrl()
+    results = []
+
+    def reader():
+        yield from ctrl.read(10)          # starts prefetch of 11..13
+        r = yield from ctrl.read(11)      # in flight -> pays the disk op
+        results.append(r)
+
+    eng.process(reader())
+    eng.run()
+    assert results == ["miss"]
+    assert ctrl.stats["read_prefetch_waits"] == 1
+    assert ctrl.stats["read_misses"] == 1  # only page 10 was a true miss
+    assert ctrl.disk.n_ops == 2            # demand read + one prefetch op
+
+
+def test_place_dirty_raises_without_room():
+    eng, cfg, ctrl = make_ctrl()
+    for p in range(cfg.disk_cache_pages):
+        ctrl.try_accept_write(p * 50)
+    with pytest.raises(RuntimeError):
+        ctrl.place_dirty(999)

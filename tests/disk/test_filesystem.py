@@ -1,0 +1,86 @@
+"""Tests for the parallel file system (32-page group striping)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.disk.filesystem import FileSystem
+
+
+@pytest.fixture
+def fs():
+    return FileSystem(SimConfig.paper(), n_disks=4)
+
+
+def test_groups_round_robin_across_disks(fs):
+    g = fs.cfg.pages_per_group
+    assert fs.disk_of(0) == 0
+    assert fs.disk_of(g) == 1
+    assert fs.disk_of(2 * g) == 2
+    assert fs.disk_of(3 * g) == 3
+    assert fs.disk_of(4 * g) == 0  # wraps
+
+
+def test_pages_within_group_on_same_disk(fs):
+    g = fs.cfg.pages_per_group
+    disks = {fs.disk_of(p) for p in range(g)}
+    assert disks == {0}
+
+
+def test_blocks_consecutive_within_group(fs):
+    g = fs.cfg.pages_per_group
+    blocks = [fs.block_of(p) for p in range(g)]
+    assert blocks == list(range(g))
+
+
+def test_second_group_on_same_disk_continues_blocks(fs):
+    g = fs.cfg.pages_per_group
+    # group 4 is the second group on disk 0
+    assert fs.disk_of(4 * g) == 0
+    assert fs.block_of(4 * g) == g
+
+
+def test_consecutive_on_disk(fs):
+    g = fs.cfg.pages_per_group
+    assert fs.consecutive_on_disk(0, 1)
+    assert not fs.consecutive_on_disk(1, 0)
+    assert not fs.consecutive_on_disk(0, 2)
+    # group boundary: page g-1 and g are on different disks
+    assert not fs.consecutive_on_disk(g - 1, g)
+
+
+def test_allocate_is_group_aligned(fs):
+    g = fs.cfg.pages_per_group
+    a = fs.allocate(10)
+    b = fs.allocate(5)
+    assert a.start % g == 0
+    assert b.start % g == 0
+    assert b.start >= a.stop
+    assert len(a) == 10 and len(b) == 5
+
+
+def test_allocate_validation(fs):
+    with pytest.raises(ValueError):
+        fs.allocate(0)
+
+
+def test_locate_negative_page(fs):
+    with pytest.raises(ValueError):
+        fs.locate(-1)
+
+
+def test_n_disks_validation():
+    with pytest.raises(ValueError):
+        FileSystem(SimConfig.paper(), n_disks=0)
+
+
+def test_every_page_maps_to_valid_disk(fs):
+    for p in range(0, 1000, 7):
+        d, b = fs.locate(p)
+        assert 0 <= d < 4
+        assert b >= 0
+
+
+def test_pages_on_disk_helper(fs):
+    g = fs.cfg.pages_per_group
+    pages = fs.pages_on_disk(1, upto_page=2 * g)
+    assert pages == list(range(g, 2 * g))

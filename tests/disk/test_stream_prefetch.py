@@ -1,0 +1,115 @@
+"""Tests for the STREAM prefetch mode (the paper's 'realistic' middle)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.disk.controller import DiskController, PrefetchMode, STREAM_HISTORY
+from repro.disk.disk import Disk
+from repro.disk.filesystem import FileSystem
+from repro.sim import Engine, RngRegistry
+
+
+def make_ctrl():
+    cfg = SimConfig.paper()
+    eng = Engine()
+    fs = FileSystem(cfg, n_disks=1)
+    disk = Disk(eng, cfg, RngRegistry(1).stream("d"))
+    return eng, cfg, DiskController(eng, cfg, disk, fs, PrefetchMode.STREAM)
+
+
+def test_single_miss_does_not_prefetch():
+    eng, cfg, ctrl = make_ctrl()
+
+    def reader():
+        yield from ctrl.read(10)
+        yield eng.timeout(50_000_000)
+
+    eng.process(reader())
+    eng.run()
+    assert ctrl.stats["prefetch_pages"] == 0
+    assert not ctrl.is_cached(11)
+
+
+def test_sequential_reads_trigger_prefetch():
+    eng, cfg, ctrl = make_ctrl()
+    results = []
+
+    def reader():
+        r1 = yield from ctrl.read(10)
+        r2 = yield from ctrl.read(11)  # stream detected here
+        yield eng.timeout(50_000_000)
+        r3 = yield from ctrl.read(12)  # should have been prefetched
+        results.extend([r1, r2, r3])
+
+    eng.process(reader())
+    eng.run()
+    assert results[0] == "miss"
+    assert results[2] == "hit"
+    assert ctrl.stats["prefetch_pages"] > 0
+
+
+def test_stream_detector_tolerates_one_page_gap():
+    eng, cfg, ctrl = make_ctrl()
+
+    def reader():
+        yield from ctrl.read(20)
+        yield from ctrl.read(22)  # 20 is two behind -> still a stream
+        yield eng.timeout(50_000_000)
+
+    eng.process(reader())
+    eng.run()
+    assert ctrl.stats["prefetch_pages"] > 0
+
+
+def test_random_reads_never_prefetch():
+    eng, cfg, ctrl = make_ctrl()
+
+    def reader():
+        for p in (5, 200, 90, 1500, 44):
+            yield from ctrl.read(p)
+        yield eng.timeout(100_000_000)
+
+    eng.process(reader())
+    eng.run()
+    assert ctrl.stats["prefetch_pages"] == 0
+
+
+def test_history_window_is_bounded():
+    eng, cfg, ctrl = make_ctrl()
+    assert ctrl._read_history.maxlen == STREAM_HISTORY
+
+
+def test_stream_prefetch_respects_dirty_slots():
+    eng, cfg, ctrl = make_ctrl()
+
+    def go():
+        for p in (100, 150, 200):
+            assert ctrl.try_accept_write(p)
+        yield from ctrl.read(10)
+        yield from ctrl.read(11)
+        yield eng.timeout(100_000_000)
+
+    eng.process(go())
+    eng.run()
+    assert ctrl.stats["writes_nacked"] == 0
+
+
+def test_stream_mode_end_to_end_between_extremes():
+    """The Discussion's expectation: stream lies between the extremes for
+    a sequential, swap-heavy workload."""
+    from repro.core.runner import run_experiment
+
+    execs = {}
+    for pf in ("optimal", "stream", "naive"):
+        execs[pf] = run_experiment(
+            "sor", "standard", pf, data_scale=0.1
+        ).exec_time
+    assert execs["optimal"] < execs["stream"]
+    assert execs["stream"] < execs["naive"] * 1.05
+
+
+def test_stream_mode_runs_on_nwcache_machine():
+    from repro.core.runner import run_pair
+
+    std, nwc = run_pair("sor", prefetch="stream", data_scale=0.1)
+    assert nwc.swapout_mean < std.swapout_mean

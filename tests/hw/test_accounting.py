@@ -1,0 +1,47 @@
+"""Tests for per-processor time accounting."""
+
+import pytest
+
+from repro.hw.accounting import CATEGORIES, TimeAccount
+
+
+def test_categories_match_paper_components():
+    assert CATEGORIES == ("nofree", "transit", "fault", "tlb", "other")
+
+
+def test_charge_and_total():
+    acct = TimeAccount()
+    acct.charge("fault", 10.0)
+    acct.charge("fault", 5.0)
+    acct.charge("other", 2.5)
+    assert acct.times["fault"] == 15.0
+    assert acct.total() == 17.5
+
+
+def test_unknown_category_rejected():
+    acct = TimeAccount()
+    with pytest.raises(KeyError):
+        acct.charge("bogus", 1.0)
+
+
+def test_negative_charge_rejected():
+    acct = TimeAccount()
+    with pytest.raises(ValueError):
+        acct.charge("tlb", -1.0)
+
+
+def test_merge():
+    a, b = TimeAccount(), TimeAccount()
+    a.charge("nofree", 3.0)
+    b.charge("nofree", 4.0)
+    b.charge("transit", 1.0)
+    a.merge(b)
+    assert a.times["nofree"] == 7.0
+    assert a.times["transit"] == 1.0
+
+
+def test_as_dict_is_snapshot():
+    acct = TimeAccount()
+    snap = acct.as_dict()
+    snap["other"] = 99.0
+    assert acct.times["other"] == 0.0

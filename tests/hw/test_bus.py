@@ -1,0 +1,45 @@
+"""Tests for the memory and I/O buses."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.bus import BUS_ARBITRATION_PCYCLES, make_io_bus, make_memory_bus
+from repro.sim import Engine
+
+
+@pytest.fixture
+def cfg():
+    return SimConfig.paper()
+
+
+def test_memory_bus_rate_matches_table1(cfg):
+    eng = Engine()
+    bus = make_memory_bus(eng, cfg, 0)
+    # 800 MB/s at 5ns/pcycle = 4 bytes per pcycle
+    assert bus.rate == pytest.approx(4.0)
+    # one 4KB page = 1024 pcycles + arbitration
+    assert bus.busy_time(4096) == pytest.approx(1024 + BUS_ARBITRATION_PCYCLES)
+
+
+def test_io_bus_rate_matches_table1(cfg):
+    eng = Engine()
+    bus = make_io_bus(eng, cfg, 0)
+    # 300 MB/s = 1.5 bytes per pcycle
+    assert bus.rate == pytest.approx(1.5)
+
+
+def test_bus_contention_serializes_pages(cfg):
+    eng = Engine()
+    bus = make_memory_bus(eng, cfg, 0)
+    done = []
+
+    def xfer(tag):
+        yield from bus.transfer(4096)
+        done.append((tag, eng.now))
+
+    eng.process(xfer("a"))
+    eng.process(xfer("b"))
+    eng.run()
+    one = 1024 + BUS_ARBITRATION_PCYCLES
+    assert done[0][1] == pytest.approx(one)
+    assert done[1][1] == pytest.approx(2 * one)

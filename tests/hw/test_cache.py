@@ -1,0 +1,85 @@
+"""Tests for the resident-page cache cost model."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.cache import BLOCK_BYTES, CacheModel
+
+
+@pytest.fixture
+def cfg():
+    return SimConfig.tiny()  # l2_resident_pages = 4
+
+
+def test_first_visit_misses(cfg):
+    cm = CacheModel(cfg)
+    busy, miss = cm.visit(1, 10)
+    assert busy == pytest.approx(10 * cfg.cpu_cycles_per_access)
+    assert miss > 0
+
+
+def test_second_visit_hits(cfg):
+    cm = CacheModel(cfg)
+    cm.visit(1, 10)
+    busy, miss = cm.visit(1, 10)
+    assert miss == 0
+    assert cm.hit_rate == pytest.approx(0.5)
+
+
+def test_miss_bytes_scale_with_accesses_up_to_page(cfg):
+    cm = CacheModel(cfg)
+    _, small = cm.visit(1, 1)
+    _, large = cm.visit(2, 10_000)
+    assert small == cfg.cold_miss_bytes  # floor
+    assert large == cfg.page_size        # cap
+
+
+def test_miss_bytes_midrange(cfg):
+    cm = CacheModel(cfg)
+    n = (2 * cfg.cold_miss_bytes) // BLOCK_BYTES
+    _, mid = cm.visit(3, n)
+    assert mid == n * BLOCK_BYTES
+
+
+def test_lru_window_eviction(cfg):
+    cm = CacheModel(cfg)  # window of 4
+    for p in range(5):
+        cm.visit(p, 1)
+    assert 0 not in cm
+    assert 4 in cm
+    _, miss = cm.visit(0, 1)
+    assert miss > 0
+
+
+def test_revisit_refreshes_lru(cfg):
+    cm = CacheModel(cfg)
+    for p in range(4):
+        cm.visit(p, 1)
+    cm.visit(0, 1)   # 0 becomes MRU
+    cm.visit(9, 1)   # evicts 1, not 0
+    assert 0 in cm
+    assert 1 not in cm
+
+
+def test_invalidate(cfg):
+    cm = CacheModel(cfg)
+    cm.visit(7, 5)
+    cm.invalidate(7)
+    _, miss = cm.visit(7, 5)
+    assert miss > 0
+
+
+def test_invalidate_absent_is_noop(cfg):
+    CacheModel(cfg).invalidate(123)  # must not raise
+
+
+def test_negative_accesses_rejected(cfg):
+    with pytest.raises(ValueError):
+        CacheModel(cfg).visit(1, -1)
+
+
+def test_zero_accesses(cfg):
+    cm = CacheModel(cfg)
+    busy, miss = cm.visit(1, 0)
+    assert busy == 0.0
+    assert miss == cfg.cold_miss_bytes

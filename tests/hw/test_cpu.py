@@ -1,0 +1,80 @@
+"""Tests for the CPU model: lazy time batching, stealing, visits."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from tests.conftest import SyntheticWorkload
+
+
+def run_one(wl=None, **cfg_kw):
+    cfg = SimConfig.tiny(**cfg_kw)
+    m = Machine(cfg, system="standard", prefetch="optimal")
+    res = m.run(wl or SyntheticWorkload(n_pages=16, sweeps=2))
+    return m, res
+
+
+def test_pending_time_materializes_fully():
+    m, res = run_one()
+    for cpu in m.cpus:
+        # nothing left unflushed at the end of the run
+        assert cpu._pending_total() == 0.0
+        assert all(v == 0.0 for v in cpu._stolen.values())
+
+
+def test_visit_counts_match_stream():
+    wl = SyntheticWorkload(n_pages=16, sweeps=3, use_barriers=False)
+    expected_per_node = 4 * 3  # 16 pages over 4 nodes, 3 sweeps
+    m, res = run_one(wl)
+    for cpu in m.cpus:
+        assert cpu.stats["visits"] == expected_per_node
+
+
+def test_barrier_counts_match_stream():
+    wl = SyntheticWorkload(n_pages=16, sweeps=5)
+    m, res = run_one(wl)
+    for cpu in m.cpus:
+        assert cpu.stats["barriers"] == 5
+
+
+def test_think_time_lands_in_other():
+    think = 12_345.0
+    wl = SyntheticWorkload(n_pages=8, sweeps=1, accesses=0, think=think,
+                           use_barriers=False, write=False)
+    m, res = run_one(wl)
+    for cpu in m.cpus:
+        # 2 pages per node, all think time charged to "other"
+        assert cpu.acct.times["other"] >= 2 * think
+
+
+def test_stolen_cycles_are_charged_to_tlb():
+    m, res = run_one(SyntheticWorkload(n_pages=64, sweeps=2))
+    # evictions occurred, so shootdown interrupts were stolen
+    assert res.metrics.counts["swapouts"] + res.metrics.counts["clean_drops"] > 0
+    assert sum(c.acct.times["tlb"] for c in m.cpus) > 0
+
+
+def test_remote_fetches_counted():
+    # shared workload: nodes read pages homed elsewhere
+    wl = SyntheticWorkload(n_pages=12, sweeps=3, shared=True, write=False)
+    m, res = run_one(wl)
+    assert sum(c.stats["remote_fetches"] for c in m.cpus) > 0
+
+
+def test_unknown_stream_item_raises():
+    m = Machine(SimConfig.tiny(), "standard", "optimal")
+
+    class BadWorkload(SyntheticWorkload):
+        def _stream(self, n_nodes, node, base):
+            yield ("explode",)
+
+    with pytest.raises(ValueError, match="unknown stream item"):
+        m.run(BadWorkload(n_pages=4))
+
+
+def test_finished_at_set_for_all_cpus():
+    m, res = run_one()
+    assert all(c.finished_at is not None for c in m.cpus)
+    assert res.exec_time == pytest.approx(
+        max(c.finished_at for c in m.cpus) - min(c.started_at for c in m.cpus)
+    )

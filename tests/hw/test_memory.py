@@ -1,0 +1,140 @@
+"""Tests for the frame pool (NoFree stalls, daemon wakeups)."""
+
+import pytest
+
+from repro.hw.accounting import TimeAccount
+from repro.hw.memory import FramePool
+from repro.sim import Engine
+
+
+def test_initial_state():
+    pool = FramePool(Engine(), n_frames=8, min_free=2)
+    assert pool.n_free == 8
+    assert not pool.below_min()
+
+
+def test_alloc_free_roundtrip():
+    eng = Engine()
+    pool = FramePool(eng, 4, 1)
+    got = []
+
+    def go():
+        f = yield from pool.alloc()
+        got.append(f)
+        pool.free(f)
+
+    eng.process(go())
+    eng.run()
+    assert len(got) == 1
+    assert pool.n_free == 4
+
+
+def test_alloc_blocks_when_empty_and_charges_nofree():
+    eng = Engine()
+    pool = FramePool(eng, 1, 1)
+    acct = TimeAccount()
+    events = []
+
+    def hog():
+        f = yield from pool.alloc()
+        yield eng.timeout(100)
+        pool.free(f)
+
+    def waiter():
+        f = yield from pool.alloc(acct)
+        events.append((eng.now, f))
+
+    eng.process(hog())
+    eng.process(waiter())
+    eng.run()
+    assert events[0][0] == pytest.approx(100.0)
+    assert acct.times["nofree"] == pytest.approx(100.0)
+    assert pool.stall.max == pytest.approx(100.0)
+
+
+def test_free_hands_off_to_waiter_fifo():
+    eng = Engine()
+    pool = FramePool(eng, 1, 1)
+    order = []
+
+    def hog():
+        f = yield from pool.alloc()
+        yield eng.timeout(10)
+        pool.free(f)
+
+    def waiter(tag):
+        f = yield from pool.alloc()
+        order.append(tag)
+        yield eng.timeout(5)
+        pool.free(f)
+
+    eng.process(hog())
+    eng.process(waiter("first"))
+    eng.process(waiter("second"))
+    eng.run()
+    assert order == ["first", "second"]
+
+
+def test_double_free_rejected():
+    eng = Engine()
+    pool = FramePool(eng, 2, 1)
+
+    def go():
+        f = yield from pool.alloc()
+        pool.free(f)
+        pool.free(f)
+
+    eng.process(go())
+    with pytest.raises(ValueError):
+        eng.run()
+
+
+def test_bogus_frame_rejected():
+    pool = FramePool(Engine(), 2, 1)
+    with pytest.raises(ValueError):
+        pool.free(99)
+
+
+def test_wait_low_fires_when_dipping_below_min():
+    eng = Engine()
+    pool = FramePool(eng, 4, min_free=2)
+    fired = []
+
+    def daemon():
+        yield pool.wait_low()
+        fired.append(eng.now)
+
+    def consumer():
+        yield eng.timeout(50)
+        yield from pool.alloc()
+        yield from pool.alloc()
+        yield from pool.alloc()  # free drops to 1 < 2
+
+    eng.process(daemon())
+    eng.process(consumer())
+    eng.run()
+    assert fired == [50.0]
+
+
+def test_wait_low_immediate_when_already_low():
+    eng = Engine()
+    pool = FramePool(eng, 2, min_free=2)
+    fired = []
+
+    def consumer():
+        yield from pool.alloc()  # free -> 1 < 2
+        yield pool.wait_low()
+        fired.append(eng.now)
+
+    eng.process(consumer())
+    eng.run()
+    assert fired == [0.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FramePool(Engine(), 0, 1)
+    with pytest.raises(ValueError):
+        FramePool(Engine(), 4, 0)
+    with pytest.raises(ValueError):
+        FramePool(Engine(), 4, 5)

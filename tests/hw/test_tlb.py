@@ -1,0 +1,70 @@
+"""Tests for the LRU TLB."""
+
+import pytest
+
+from repro.hw.tlb import Tlb
+
+
+def test_miss_then_hit():
+    tlb = Tlb(4)
+    assert tlb.lookup(10) is None
+    tlb.insert(10, home=3)
+    assert tlb.lookup(10) == 3
+    assert tlb.stats["misses"] == 1
+    assert tlb.stats["hits"] == 1
+
+
+def test_lru_eviction_order():
+    tlb = Tlb(2)
+    tlb.insert(1, 0)
+    tlb.insert(2, 0)
+    tlb.lookup(1)        # 1 becomes MRU
+    tlb.insert(3, 0)     # evicts 2
+    assert 1 in tlb
+    assert 2 not in tlb
+    assert 3 in tlb
+    assert tlb.stats["evictions"] == 1
+
+
+def test_insert_existing_updates_home():
+    tlb = Tlb(2)
+    tlb.insert(5, 0)
+    tlb.insert(5, 7)
+    assert tlb.lookup(5) == 7
+    assert len(tlb) == 1
+
+
+def test_invalidate():
+    tlb = Tlb(4)
+    tlb.insert(9, 1)
+    assert tlb.invalidate(9) is True
+    assert tlb.lookup(9) is None
+    assert tlb.invalidate(9) is False
+
+
+def test_flush():
+    tlb = Tlb(4)
+    for p in range(4):
+        tlb.insert(p, 0)
+    tlb.flush()
+    assert len(tlb) == 0
+
+
+def test_hit_rate():
+    tlb = Tlb(4)
+    tlb.insert(1, 0)
+    tlb.lookup(1)
+    tlb.lookup(2)
+    assert tlb.hit_rate == pytest.approx(0.5)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tlb(0)
+
+
+def test_capacity_never_exceeded():
+    tlb = Tlb(3)
+    for p in range(10):
+        tlb.insert(p, 0)
+    assert len(tlb) == 3

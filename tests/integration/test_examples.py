@@ -1,0 +1,60 @@
+"""Smoke-test the example scripts (fast settings).
+
+A release's examples must actually run; these execute each script in a
+subprocess at tiny scale and check for the expected output markers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "sor", "0.1")
+    assert "improvement" in out
+    assert "breakdown" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "pipeline workload" in out
+    assert "nwcache" in out
+
+
+def test_future_nwcache():
+    out = run_example("future_nwcache.py", "radix", "0.1")
+    assert "ch/node" in out
+    assert "standard machine" in out
+
+
+def test_prefetch_comparison():
+    out = run_example("prefetch_comparison.py", "sor", "0.1")
+    assert "Table 3" in out
+    assert "Figure 3" in out and "Figure 4" in out
+
+
+@pytest.mark.slow
+def test_victim_cache_study():
+    out = run_example("victim_cache_study.py", "0.1")
+    assert "ring capacity sweep" in out
+
+
+@pytest.mark.slow
+def test_disk_cache_sweep():
+    out = run_example("disk_cache_sweep.py", "sor", "0.1")
+    assert "vs NWCache" in out

@@ -1,0 +1,107 @@
+"""Stress and edge-configuration tests: the models must stay consistent
+far from the paper's sweet spot."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from tests.conftest import SyntheticWorkload
+
+
+def run(cfg, system="nwcache", wl=None, prefetch="optimal"):
+    m = Machine(cfg, system=system, prefetch=prefetch)
+    res = m.run(wl or SyntheticWorkload(n_pages=48, sweeps=2))
+    m.vm.check_invariants()
+    return m, res
+
+
+def test_single_io_node_hotspot():
+    """All swap traffic funnels through one disk: heavy NACK pressure,
+    no deadlock, everything retires."""
+    cfg = SimConfig.tiny(n_io_nodes=1)
+    for system in ("standard", "nwcache"):
+        m, res = run(cfg, system, SyntheticWorkload(n_pages=96, sweeps=2,
+                                                    think=0.0))
+        assert res.metrics.counts["swapouts"] > 0
+        for ctrl in m.controllers:
+            assert ctrl.n_dirty == 0
+
+
+def test_every_node_has_a_disk():
+    cfg = SimConfig.tiny(n_io_nodes=4)
+    m, res = run(cfg)
+    assert all(n.is_io_node for n in m.nodes)
+    assert res.exec_time > 0
+
+
+def test_sixteen_node_machine():
+    cfg = SimConfig.paper(
+        n_nodes=16, n_io_nodes=4, ring_channels=16,
+        memory_per_node=32 * 1024, os_reserved_fraction=0.0,
+    )
+    m, res = run(cfg, wl=SyntheticWorkload(n_pages=192, sweeps=2))
+    assert res.metrics.counts["faults"] > 0
+    assert m.network.rows * m.network.cols == 16
+
+
+def test_two_node_machine():
+    cfg = SimConfig.paper(
+        n_nodes=2, n_io_nodes=1, ring_channels=2,
+        memory_per_node=32 * 1024, os_reserved_fraction=0.0,
+        tlb_entries=8,
+    )
+    m, res = run(cfg, wl=SyntheticWorkload(n_pages=24, sweeps=2))
+    assert res.exec_time > 0
+
+
+def test_one_slot_ring_channels():
+    """Degenerate fiber: one page per channel — swap-outs serialize on
+    the drain but never deadlock."""
+    cfg = SimConfig.tiny(ring_channel_bytes=4096)
+    m, res = run(cfg, "nwcache", SyntheticWorkload(n_pages=64, sweeps=2,
+                                                   think=0.0))
+    assert res.metrics.counts["swapouts"] > 0
+    assert m.ring.total_stored == 0
+
+
+def test_one_page_disk_cache():
+    cfg = SimConfig.tiny(disk_cache_bytes=4096)
+    for system in ("standard", "nwcache"):
+        m, res = run(cfg, system, SyntheticWorkload(n_pages=64, sweeps=2))
+        assert res.metrics.counts["swapouts"] > 0
+        # combining is impossible with a single slot
+        assert res.combining.max == 1
+
+
+def test_tiny_memory_thrash():
+    """Three usable frames per node: constant NoFree pressure."""
+    cfg = SimConfig.tiny(memory_per_node=4 * 4096, min_free_frames=1)
+    m, res = run(cfg, "standard", SyntheticWorkload(n_pages=64, sweeps=1))
+    assert res.breakdown["nofree"] >= 0
+    assert res.metrics.counts["faults"] >= 64
+
+
+def test_huge_ring_absorbs_everything():
+    """A ring bigger than the data: no channel-full waits at all."""
+    cfg = SimConfig.tiny(ring_channel_bytes=64 * 4096)
+    m, res = run(cfg, "nwcache", SyntheticWorkload(n_pages=64, sweeps=2,
+                                                   think=0.0))
+    waits = sum(ch.stats["full_waits"] for ch in m.ring.channels)
+    assert waits == 0
+
+
+def test_naive_prefetch_under_hotspot():
+    cfg = SimConfig.tiny(n_io_nodes=1)
+    m, res = run(cfg, "nwcache",
+                 SyntheticWorkload(n_pages=96, sweeps=2), prefetch="naive")
+    assert res.metrics.counts["disk_reads"] > 0
+
+
+def test_shared_write_storm():
+    """Every node writes every page: maximal invalidation/sharing churn."""
+    wl = SyntheticWorkload(n_pages=40, sweeps=2, shared=True, think=0.0)
+    cfg = SimConfig.tiny()
+    for system in ("standard", "nwcache"):
+        m, res = run(cfg, system, wl=SyntheticWorkload(
+            n_pages=40, sweeps=2, shared=True, think=0.0))
+        assert res.metrics.counts["faults"] > 0

@@ -1,0 +1,159 @@
+"""Tests for the NWCache interface (FIFOs, drain, claims)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.disk.controller import DiskController, PrefetchMode
+from repro.disk.disk import Disk
+from repro.disk.filesystem import FileSystem
+from repro.optical.interface import (
+    DRAIN_MOST_LOADED,
+    DRAIN_ROUND_ROBIN,
+    NWCacheInterface,
+)
+from repro.optical.ring import OpticalRing
+from repro.sim import Engine, RngRegistry
+
+
+def make_iface(drain_policy=DRAIN_MOST_LOADED, with_controller=True, **cfg_kw):
+    cfg = SimConfig.paper(**cfg_kw)
+    eng = Engine()
+    ring = OpticalRing(eng, cfg)
+    ctrl = None
+    if with_controller:
+        fs = FileSystem(cfg, n_disks=1)
+        disk = Disk(eng, cfg, RngRegistry(1).stream("d"))
+        ctrl = DiskController(eng, cfg, disk, fs, PrefetchMode.OPTIMAL)
+    iface = NWCacheInterface(eng, cfg, node=0, ring=ring, controller=ctrl,
+                             drain_policy=drain_policy)
+    acks = []
+    iface.ack_callback = lambda page, swapper: (
+        acks.append((page, swapper)),
+        ring.channels[_channel_of[page]].remove(page),
+    )
+    return eng, cfg, ring, ctrl, iface, acks
+
+
+_channel_of = {}
+
+
+def put_on_ring(eng, ring, iface, channel, page, swapper):
+    """Insert a page on a channel and notify the interface."""
+    _channel_of[page] = channel
+
+    def go():
+        ch = ring.channels[channel]
+        yield ch.reserve_slot()
+        ch.insert(page)
+        iface.notify_swapout(channel, page, swapper)
+
+    return eng.process(go())
+
+
+def test_notify_requires_controller():
+    eng, cfg, ring, ctrl, iface, _ = make_iface(with_controller=False)
+    with pytest.raises(RuntimeError):
+        iface.notify_swapout(0, 1, 0)
+
+
+def test_drain_copies_page_and_acks():
+    eng, cfg, ring, ctrl, iface, acks = make_iface()
+    put_on_ring(eng, ring, iface, channel=2, page=10, swapper=2)
+    eng.run()
+    assert acks == [(10, 2)]
+    assert ctrl.is_cached(10)
+    assert ring.total_stored == 0
+    assert iface.stats["drained_pages"] == 1
+
+
+def test_drain_preserves_swap_order_within_channel():
+    eng, cfg, ring, ctrl, iface, acks = make_iface()
+
+    def seq():
+        for page in (20, 21, 22):
+            _channel_of[page] = 1
+            ch = ring.channels[1]
+            yield ch.reserve_slot()
+            ch.insert(page)
+            iface.notify_swapout(1, page, 1)
+
+    eng.process(seq())
+    eng.run()
+    assert [p for p, _ in acks] == [20, 21, 22]
+
+
+def test_drain_picks_most_loaded_channel():
+    eng, cfg, ring, ctrl, iface, acks = make_iface()
+
+    def seq():
+        # one page on channel 0, two on channel 3; pause the drain start
+        # by inserting everything at t=0 before any drain step completes.
+        for channel, page in ((0, 30), (3, 40), (3, 41)):
+            _channel_of[page] = channel
+            ch = ring.channels[channel]
+            yield ch.reserve_slot()
+            ch.insert(page)
+        iface.notify_swapout(0, 30, 0)
+        iface.notify_swapout(3, 40, 3)
+        iface.notify_swapout(3, 41, 3)
+
+    eng.process(seq())
+    eng.run()
+    # channel 3 (2 pages) drained before channel 0's single page
+    assert [p for p, _ in acks] == [40, 41, 30]
+
+
+def test_drain_round_robin_policy():
+    eng, cfg, ring, ctrl, iface, acks = make_iface(drain_policy=DRAIN_ROUND_ROBIN)
+
+    def seq():
+        for channel, page in ((3, 40), (3, 41), (0, 30)):
+            _channel_of[page] = channel
+            ch = ring.channels[channel]
+            yield ch.reserve_slot()
+            ch.insert(page)
+        iface.notify_swapout(3, 40, 3)
+        iface.notify_swapout(3, 41, 3)
+        iface.notify_swapout(0, 30, 0)
+
+    eng.process(seq())
+    eng.run()
+    # round-robin starts at channel 0
+    assert [p for p, _ in acks][0] == 30
+
+
+def test_try_claim_removes_from_fifo():
+    eng, cfg, ring, ctrl, iface, acks = make_iface()
+    # Fill the controller with dirty pages so the drain cannot run.
+    for p in range(cfg.disk_cache_pages):
+        ctrl.try_accept_write(p * 50)
+    put_on_ring(eng, ring, iface, channel=1, page=70, swapper=1)
+    eng.run(until=1000)
+    assert iface.pending(1) == 1
+    assert iface.try_claim(1, 70) is True
+    assert iface.pending(1) == 0
+    assert iface.try_claim(1, 70) is False  # already claimed
+
+
+def test_try_claim_unknown_page():
+    eng, cfg, ring, ctrl, iface, _ = make_iface()
+    assert iface.try_claim(0, 123) is False
+
+
+def test_drain_resumes_when_controller_room_appears():
+    eng, cfg, ring, ctrl, iface, acks = make_iface()
+    # controller full of dirty pages: drain must wait for the flusher
+    for p in range(cfg.disk_cache_pages):
+        ctrl.try_accept_write(p * 50)
+    put_on_ring(eng, ring, iface, channel=1, page=70, swapper=1)
+    eng.run()
+    assert acks == [(70, 1)]
+    assert ctrl.is_cached(70)
+
+
+def test_bad_drain_policy_rejected():
+    cfg = SimConfig.paper()
+    eng = Engine()
+    ring = OpticalRing(eng, cfg)
+    with pytest.raises(ValueError):
+        NWCacheInterface(eng, cfg, 0, ring, None, drain_policy="bogus")

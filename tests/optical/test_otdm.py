@@ -1,0 +1,78 @@
+"""Tests for the OTDM multi-channel extension (Section 4 future work)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.optical.ring import OpticalRing
+from repro.sim import Engine
+from tests.conftest import SyntheticWorkload, tiny_machine
+
+
+def test_single_channel_per_node_is_paper_behaviour():
+    ring = OpticalRing(Engine(), SimConfig.paper())
+    assert ring.per_node == 1
+    for n in range(8):
+        assert ring.channel_of(n).owner == n
+        assert ring.channel_of(n).index == n
+        assert [c.index for c in ring.channels_of(n)] == [n]
+
+
+def test_multi_channel_ownership_partition():
+    cfg = SimConfig.paper(ring_channels=24)
+    ring = OpticalRing(Engine(), cfg)
+    assert ring.per_node == 3
+    seen = []
+    for n in range(8):
+        owned = ring.channels_of(n)
+        assert len(owned) == 3
+        assert all(c.owner == n for c in owned)
+        seen += [c.index for c in owned]
+    assert sorted(seen) == list(range(24))
+
+
+def test_non_multiple_channel_count_rejected():
+    with pytest.raises(ValueError):
+        OpticalRing(Engine(), SimConfig.paper(ring_channels=9))
+
+
+def test_best_channel_prefers_most_free():
+    cfg = SimConfig.paper(ring_channels=16)
+    eng = Engine()
+    ring = OpticalRing(eng, cfg)
+
+    def go():
+        first = ring.best_channel(0)
+        yield first.reserve_slot()
+        first.insert(1)
+        second = ring.best_channel(0)
+        assert second.index != first.index
+
+    eng.process(go())
+    eng.run()
+
+
+def test_otdm_machine_runs_and_uses_all_owned_channels():
+    m = tiny_machine("nwcache", ring_channels=8)  # 2 channels per node
+    res = m.run(SyntheticWorkload(n_pages=96, sweeps=2, think=0.0))
+    assert res.metrics.counts["swapouts"] > 0
+    used = {ch.index for ch in m.ring.channels if ch.stats["insertions"] > 0}
+    # with bursty swap-outs, second channels get used too
+    assert len(used) > m.cfg.n_nodes
+    assert m.ring.total_stored == 0  # all drained at quiescence
+
+
+def test_otdm_reduces_channel_full_waits():
+    wl = lambda: SyntheticWorkload(n_pages=96, sweeps=2, think=0.0)
+    m1 = tiny_machine("nwcache", ring_channels=4)
+    m1.run(wl())
+    m2 = tiny_machine("nwcache", ring_channels=16)  # 4x the channels
+    m2.run(wl())
+    waits1 = sum(ch.stats["full_waits"] for ch in m1.ring.channels)
+    waits2 = sum(ch.stats["full_waits"] for ch in m2.ring.channels)
+    assert waits2 < waits1
+
+
+def test_otdm_victim_reads_still_work():
+    m = tiny_machine("nwcache", ring_channels=8)
+    res = m.run(SyntheticWorkload(n_pages=48, sweeps=4))
+    assert res.metrics.counts["ring_hits"] > 0

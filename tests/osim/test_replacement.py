@@ -1,0 +1,129 @@
+"""Tests for the pluggable page-replacement policies."""
+
+import pytest
+
+from repro.osim.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    POLICIES,
+    make_policy,
+)
+from tests.conftest import SyntheticWorkload, tiny_machine
+
+
+@pytest.fixture(params=sorted(POLICIES))
+def policy(request):
+    return make_policy(request.param)
+
+
+# ------------------------------------------------------------- shared contract
+def test_insert_and_len(policy):
+    for p in range(5):
+        policy.insert(p)
+    assert len(policy) == 5
+    assert all(p in policy for p in range(5))
+
+
+def test_remove(policy):
+    policy.insert(1)
+    policy.insert(2)
+    policy.remove(1)
+    assert 1 not in policy
+    assert len(policy) == 1
+    policy.remove(99)  # absent: no-op
+
+
+def test_victim_none_when_empty(policy):
+    assert policy.victim() is None
+
+
+def test_victim_is_resident(policy):
+    for p in range(8):
+        policy.insert(p)
+    policy.touch(3)
+    v = policy.victim()
+    assert v in policy
+
+
+def test_reinsert_is_idempotent_for_len(policy):
+    policy.insert(7)
+    policy.insert(7)
+    assert len(policy) == 1
+
+
+def test_pages_iterates_everything(policy):
+    for p in (3, 1, 4):
+        policy.insert(p)
+    assert sorted(policy.pages()) == [1, 3, 4]
+
+
+# ------------------------------------------------------------- policy-specific
+def test_lru_evicts_least_recent():
+    pol = LruPolicy()
+    for p in range(4):
+        pol.insert(p)
+    pol.touch(0)
+    assert pol.victim() == 1
+
+
+def test_fifo_ignores_touches():
+    pol = FifoPolicy()
+    for p in range(4):
+        pol.insert(p)
+    pol.touch(0)
+    pol.touch(0)
+    assert pol.victim() == 0
+
+
+def test_clock_gives_second_chance():
+    pol = ClockPolicy()
+    for p in range(4):
+        pol.insert(p)
+    # all referenced: first victim() sweep clears bits, then evicts page 0
+    assert pol.victim() == 0
+    # touching 0 re-references it, so the next victim is 1
+    pol.touch(0)
+    assert pol.victim() == 1
+
+
+def test_clock_remove_keeps_hand_valid():
+    pol = ClockPolicy()
+    for p in range(4):
+        pol.insert(p)
+    pol.victim()
+    for p in range(4):
+        pol.remove(p)
+    assert len(pol) == 0
+    pol.insert(9)
+    assert pol.victim() == 9
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        make_policy("random")
+
+
+def test_config_validates_policy():
+    from repro.config import SimConfig
+
+    with pytest.raises(ValueError):
+        SimConfig.tiny(replacement_policy="mru")
+
+
+# ------------------------------------------------------------- end to end
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_machine_runs_under_every_policy(name):
+    m = tiny_machine("nwcache", replacement_policy=name)
+    res = m.run(SyntheticWorkload(n_pages=64, sweeps=2))
+    assert res.exec_time > 0
+    assert res.metrics.counts["swapouts"] > 0
+    m.vm.check_invariants()
+
+
+def test_lru_not_worse_than_fifo_on_reuse_heavy_workload():
+    wl = lambda: SyntheticWorkload(n_pages=48, sweeps=4)
+    lru = tiny_machine("standard", replacement_policy="lru").run(wl())
+    fifo = tiny_machine("standard", replacement_policy="fifo").run(wl())
+    # with uniform sweeps they are comparable; LRU must not blow up
+    assert lru.exec_time <= fifo.exec_time * 1.25

@@ -1,0 +1,73 @@
+"""Tests for barriers."""
+
+import pytest
+
+from repro.osim.sync import Barrier, BarrierRegistry
+from repro.sim import Engine
+
+
+def test_barrier_releases_when_all_arrive():
+    eng = Engine()
+    bar = Barrier(eng, parties=3)
+    released = []
+
+    def worker(delay, tag):
+        yield eng.timeout(delay)
+        yield bar.wait()
+        released.append((tag, eng.now))
+
+    for i, d in enumerate((10, 20, 30)):
+        eng.process(worker(d, i))
+    eng.run()
+    assert [t for _, t in released] == [30.0, 30.0, 30.0]
+    assert bar.n_releases == 1
+
+
+def test_barrier_is_reusable():
+    eng = Engine()
+    bar = Barrier(eng, parties=2)
+    log = []
+
+    def worker(tag, delays):
+        for d in delays:
+            yield eng.timeout(d)
+            yield bar.wait()
+            log.append((tag, eng.now))
+
+    eng.process(worker("a", [5, 5]))
+    eng.process(worker("b", [10, 10]))
+    eng.run()
+    times = sorted(t for _, t in log)
+    assert times == [10.0, 10.0, 20.0, 20.0]
+    assert bar.n_releases == 2
+
+
+def test_single_party_barrier_never_blocks():
+    eng = Engine()
+    bar = Barrier(eng, parties=1)
+
+    def worker():
+        yield bar.wait()
+        return eng.now
+
+    p = eng.process(worker())
+    eng.run()
+    assert p.value == 0.0
+
+
+def test_barrier_validation():
+    with pytest.raises(ValueError):
+        Barrier(Engine(), parties=0)
+
+
+def test_registry_returns_same_barrier_per_key():
+    eng = Engine()
+    reg = BarrierRegistry(eng, parties=4)
+    assert reg.get(("it", 0)) is reg.get(("it", 0))
+    assert reg.get(("it", 0)) is not reg.get(("it", 1))
+    assert len(reg) == 2
+
+
+def test_registry_barriers_have_right_parties():
+    reg = BarrierRegistry(Engine(), parties=6)
+    assert reg.get("x").parties == 6

@@ -1,0 +1,139 @@
+"""Tests for the VM system: faults, replacement, accounting, victim reads."""
+
+import pytest
+
+from repro.osim.pagetable import PageState
+from tests.conftest import SyntheticWorkload, tiny_machine
+
+
+def run_machine(system="standard", prefetch="optimal", wl=None, **cfg):
+    m = tiny_machine(system, prefetch, **cfg)
+    wl = wl or SyntheticWorkload(n_pages=64, sweeps=2)
+    return m, m.run(wl)
+
+
+def test_out_of_core_workload_faults_and_swaps():
+    # 64 pages vs 32 frames -> must fault and swap every sweep.
+    m, res = run_machine()
+    assert res.metrics.counts["faults"] > 64
+    assert res.metrics.counts["swapouts"] > 0
+    assert res.metrics.swapout.n == res.metrics.counts["swapouts"]
+
+
+def test_in_core_workload_faults_once_per_page():
+    wl = SyntheticWorkload(n_pages=16, sweeps=4)  # fits in 32 frames
+    m, res = run_machine(wl=wl)
+    assert res.metrics.counts["faults"] == 16
+    assert res.metrics.counts["swapouts"] == 0
+
+
+def test_read_only_workload_drops_clean_pages():
+    wl = SyntheticWorkload(n_pages=64, sweeps=2, write=False)
+    m, res = run_machine(wl=wl)
+    assert res.metrics.counts["swapouts"] == 0
+    assert res.metrics.counts["clean_drops"] > 0
+
+
+def test_all_pages_settle_after_run():
+    m, res = run_machine()
+    table = m.vm.table
+    for entry in table.entries():
+        assert entry.state in (PageState.ABSENT, PageState.MEMORY)
+    # resident bookkeeping matches the page table
+    m.vm.check_invariants()
+
+
+def test_accounting_sums_to_execution_time():
+    m, res = run_machine()
+    for cpu in m.cpus:
+        span = cpu.finished_at - cpu.started_at
+        assert cpu.acct.total() == pytest.approx(span, rel=1e-9)
+
+
+def test_min_free_frames_maintained_at_quiescence():
+    m, res = run_machine()
+    for pool in m.pools:
+        assert pool.n_free >= m.cfg.min_free_frames
+
+
+def test_transit_waits_on_shared_faults():
+    wl = SyntheticWorkload(n_pages=24, sweeps=1, shared=True)
+    m, res = run_machine(wl=wl)
+    # all 4 nodes fault the same pages simultaneously
+    assert res.metrics.counts["transit_waits"] > 0
+    assert res.breakdown["transit"] > 0
+
+
+def test_tlb_shootdown_steals_cycles():
+    m, res = run_machine()
+    assert res.metrics.counts["swapouts"] + res.metrics.counts["clean_drops"] > 0
+    total_tlb = sum(c.acct.times["tlb"] for c in m.cpus)
+    # shootdowns cost at least the interrupt on every other CPU
+    assert total_tlb > 0
+
+
+def test_determinism_same_seed():
+    _, r1 = run_machine()
+    _, r2 = run_machine()
+    assert r1.exec_time == r2.exec_time
+    assert r1.events_processed == r2.events_processed
+    assert r1.metrics.counts.as_dict() == r2.metrics.counts.as_dict()
+
+
+def test_different_seed_changes_timing():
+    _, r1 = run_machine(seed=1)
+    _, r2 = run_machine(seed=2)
+    # rotational latencies differ -> execution time differs
+    assert r1.exec_time != r2.exec_time
+
+
+# ------------------------------------------------------------- NWCache paths
+def test_ring_swapouts_much_faster_than_standard():
+    _, std = run_machine("standard")
+    _, nwc = run_machine("nwcache")
+    assert nwc.metrics.swapout.mean < std.metrics.swapout.mean
+
+
+def test_victim_reads_hit_the_ring():
+    # Re-visiting recently evicted dirty pages -> ring hits.
+    wl = SyntheticWorkload(n_pages=48, sweeps=4)
+    m, res = run_machine("nwcache", wl=wl)
+    assert res.metrics.counts["ring_hits"] > 0
+    assert 0.0 < res.ring_hit_rate < 1.0
+
+
+def test_ring_empty_after_run():
+    m, res = run_machine("nwcache")
+    # every swapped page was drained or victim-read
+    assert m.ring.total_stored == 0
+    for iface in m.interfaces.values():
+        for ch in range(m.cfg.ring_channels):
+            assert iface.pending(ch) == 0
+
+
+def test_victim_read_pages_reenter_dirty():
+    wl = SyntheticWorkload(n_pages=48, sweeps=4)
+    m, res = run_machine("nwcache", wl=wl)
+    # a page read off the ring must be dirty in memory (disk copy stale);
+    # by quiescence all residents that came from the ring are re-swapped or
+    # still dirty -- at minimum no data was lost: every page is ABSENT
+    # (flushed to disk) or MEMORY.
+    for entry in m.vm.table.entries():
+        assert entry.state in (PageState.ABSENT, PageState.MEMORY)
+
+
+def test_nwcache_reduces_network_traffic():
+    _, std = run_machine("standard")
+    _, nwc = run_machine("nwcache")
+    assert nwc.network_bytes < std.network_bytes
+
+
+def test_standard_machine_has_no_ring():
+    m = tiny_machine("standard")
+    assert m.ring is None
+    assert m.interfaces == {}
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        tiny_machine("quantum")

@@ -1,0 +1,170 @@
+"""Property-based tests on model-layer state machines and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.disk.controller import DiskController, PrefetchMode
+from repro.disk.disk import Disk
+from repro.disk.filesystem import FileSystem
+from repro.osim.pagetable import PageEntry, PageState
+from repro.osim.replacement import make_policy
+from repro.sim import Engine, RngRegistry
+from tests.conftest import SyntheticWorkload
+
+
+# --------------------------------------------------------------- page table
+#: legal transitions from each state (method name, needs args)
+_LEGAL = {
+    PageState.ABSENT: ["to_inflight"],
+    PageState.INFLIGHT: ["to_memory"],
+    PageState.MEMORY: ["to_swapping"],
+    PageState.SWAPPING: ["to_ring", "to_absent", "reinstall"],
+    PageState.RING: ["to_inflight", "to_absent"],
+}
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), max_size=60))
+@settings(max_examples=100)
+def test_pagetable_random_walk_keeps_consistency(choices):
+    """Any sequence of legal transitions keeps entry fields consistent."""
+    eng = Engine()
+    entry = PageEntry(eng, page=1)
+    for c in choices:
+        legal = _LEGAL[entry.state]
+        method = legal[c % len(legal)]
+        if method == "to_inflight":
+            entry.to_inflight(0)
+        elif method == "to_memory":
+            entry.to_memory(0, 5, dirty=True)
+        elif method == "to_swapping":
+            entry.to_swapping()
+        elif method == "to_ring":
+            entry.to_ring(channel=2, swapper=0)
+        elif method == "reinstall":
+            entry.reinstall(0, 5, dirty=True)
+        else:
+            entry.to_absent()
+        # field consistency per state
+        if entry.state is PageState.MEMORY:
+            assert entry.node is not None and entry.frame is not None
+        if entry.state is PageState.RING:
+            assert entry.ring_channel is not None
+            assert entry.ring_bit
+        if entry.state is PageState.ABSENT:
+            assert entry.frame is None and not entry.dirty
+        if entry.state is not PageState.RING:
+            assert not entry.ring_bit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_pagetable_settle_fires_on_every_transition(choices):
+    eng = Engine()
+    entry = PageEntry(eng, page=1)
+    for c in choices:
+        ev = entry.settle_event()
+        legal = _LEGAL[entry.state]
+        method = legal[c % len(legal)]
+        getattr(entry, method)(
+            *{
+                "to_inflight": (0,),
+                "to_memory": (0, 5, True),
+                "to_swapping": (),
+                "to_ring": (2, 0),
+                "reinstall": (0, 5, True),
+                "to_absent": (),
+            }[method]
+        )
+        assert ev.triggered
+
+
+# --------------------------------------------------------------- controller
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["write", "read"]),
+                  st.integers(min_value=0, max_value=30)),
+        max_size=50,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_controller_cache_never_exceeds_capacity(ops):
+    cfg = SimConfig.paper()
+    eng = Engine()
+    fs = FileSystem(cfg, 1)
+    ctrl = DiskController(
+        eng, cfg, Disk(eng, cfg, RngRegistry(1).stream("d")), fs,
+        PrefetchMode.NAIVE,
+    )
+
+    def driver():
+        for op, page in ops:
+            if op == "write":
+                ctrl.try_accept_write(page)
+            else:
+                yield from ctrl.read(page)
+            assert ctrl.n_cached <= ctrl.capacity
+            assert ctrl.n_dirty <= ctrl.n_cached
+        return None
+
+    eng.process(driver())
+    eng.run()
+    # the flusher always empties the dirty set at quiescence
+    assert ctrl.n_dirty == 0
+    assert ctrl.n_cached <= ctrl.capacity
+
+
+# --------------------------------------------------------------- replacement
+@given(
+    st.sampled_from(["lru", "fifo", "clock"]),
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "touch", "remove", "victim"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=120,
+    ),
+)
+@settings(max_examples=80)
+def test_replacement_policies_track_membership(name, ops):
+    pol = make_policy(name)
+    ref = set()
+    for op, page in ops:
+        if op == "insert":
+            pol.insert(page)
+            ref.add(page)
+        elif op == "touch":
+            pol.touch(page)
+        elif op == "remove":
+            pol.remove(page)
+            ref.discard(page)
+        else:
+            v = pol.victim()
+            assert (v is None) == (not ref)
+            if v is not None:
+                assert v in ref
+        assert len(pol) == len(ref)
+        assert set(pol.pages()) == ref
+
+
+# --------------------------------------------------------------- whole machine
+@given(
+    st.integers(min_value=8, max_value=80),
+    st.integers(min_value=1, max_value=3),
+    st.booleans(),
+    st.sampled_from(["standard", "nwcache"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_machine_invariants_under_random_workloads(n_pages, sweeps, write, system):
+    cfg = SimConfig.tiny()
+    m = Machine(cfg, system=system, prefetch="optimal")
+    res = m.run(SyntheticWorkload(n_pages=n_pages, sweeps=sweeps, write=write))
+    m.vm.check_invariants()
+    # conservation: every frame is free or maps to a resident page
+    for node in range(cfg.n_nodes):
+        resident_here = len(m.vm.resident[node])
+        assert m.pools[node].n_free + resident_here == cfg.frames_per_node
+    # time accounting holds for every CPU
+    for cpu in m.cpus:
+        assert abs(cpu.acct.total() - (cpu.finished_at - cpu.started_at)) < 1e-6
+    if system == "nwcache":
+        assert m.ring.total_stored == 0

@@ -1,0 +1,92 @@
+"""Property-based tests on the optical delay-line arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.optical.ring import CacheChannel
+from repro.sim import Engine
+
+
+@given(
+    st.floats(min_value=0, max_value=1e8, allow_nan=False),
+    st.floats(min_value=0, max_value=1e8, allow_nan=False),
+)
+@settings(max_examples=80)
+def test_read_delay_always_within_one_round_trip(insert_at, read_after):
+    cfg = SimConfig.paper()
+    eng = Engine()
+    ch = CacheChannel(eng, cfg, owner=0)
+    done = []
+
+    def go():
+        yield eng.timeout(insert_at)
+        yield ch.reserve_slot()
+        ch.insert(1)
+        yield eng.timeout(read_after)
+        d = ch.read_delay(1)
+        done.append(d)
+
+    eng.process(go())
+    eng.run()
+    (d,) = done
+    assert ch.insertion_time() <= d <= ch.round_trip + ch.insertion_time()
+
+
+@given(st.lists(st.sampled_from(["insert", "remove"]), max_size=80),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_channel_capacity_invariant(ops, slots):
+    cfg = SimConfig.paper(ring_channel_bytes=slots * 4096)
+    eng = Engine()
+    ch = CacheChannel(eng, cfg, owner=0)
+    next_page = [0]
+    stored = []
+
+    def go():
+        for op in ops:
+            assert ch.n_stored <= ch.capacity
+            if op == "insert" and ch.has_room():
+                yield ch.reserve_slot()
+                ch.insert(next_page[0])
+                stored.append(next_page[0])
+                next_page[0] += 1
+            elif op == "remove" and stored:
+                ch.remove(stored.pop(0))
+            yield eng.timeout(1)
+        # everything stored is readable
+        for p in stored:
+            assert ch.contains(p)
+            assert ch.read_delay(p) >= 0
+
+    eng.process(go())
+    eng.run()
+    assert ch.n_stored == len(stored)
+
+
+@given(st.floats(min_value=0, max_value=1e7, allow_nan=False))
+@settings(max_examples=60)
+def test_delay_shrinks_as_page_approaches(dt):
+    """Waiting (less than the remaining alignment) shrinks the delay."""
+    cfg = SimConfig.paper()
+    eng = Engine()
+    ch = CacheChannel(eng, cfg, owner=0)
+    rt = cfg.ring_round_trip_pcycles
+    out = []
+
+    def go():
+        yield ch.reserve_slot()
+        ch.insert(1)
+        yield eng.timeout(dt)
+        d1 = ch.read_delay(1)
+        step = (d1 - ch.insertion_time()) / 2  # stay within the alignment
+        if step > 0:
+            yield eng.timeout(step)
+            d2 = ch.read_delay(1)
+            out.append((d1, d2, step))
+
+    eng.process(go())
+    eng.run()
+    for d1, d2, step in out:
+        assert d2 <= d1
+        assert abs((d1 - d2) - step) < 1e-6 * max(1.0, rt)

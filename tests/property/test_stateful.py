@@ -1,0 +1,124 @@
+"""Hypothesis stateful (rule-based) tests of the protocol components.
+
+These let hypothesis drive arbitrary interleavings of operations against
+the disk controller and a cache channel, checking the class invariants
+after every step — much deeper coverage than example-based tests.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.config import SimConfig
+from repro.disk.controller import DiskController, PrefetchMode
+from repro.disk.disk import Disk
+from repro.disk.filesystem import FileSystem
+from repro.optical.ring import CacheChannel
+from repro.sim import Engine, RngRegistry
+
+
+class ControllerMachine(RuleBasedStateMachine):
+    """Random writes/reads/time against a naive-prefetch controller."""
+
+    def __init__(self):
+        super().__init__()
+        self.cfg = SimConfig.paper()
+        self.eng = Engine()
+        fs = FileSystem(self.cfg, 1)
+        disk = Disk(self.eng, self.cfg, RngRegistry(7).stream("d"))
+        self.ctrl = DiskController(
+            self.eng, self.cfg, disk, fs, PrefetchMode.NAIVE
+        )
+        self.accepted_writes = 0
+        self.nacks = 0
+
+    @rule(page=st.integers(min_value=0, max_value=200))
+    def write(self, page):
+        if self.ctrl.try_accept_write(page):
+            self.accepted_writes += 1
+        else:
+            self.nacks += 1
+
+    @rule(page=st.integers(min_value=0, max_value=200))
+    def read(self, page):
+        done = []
+
+        def go():
+            r = yield from self.ctrl.read(page)
+            done.append(r)
+
+        self.eng.process(go())
+        self.eng.run()
+        assert done[0] in ("hit", "miss")
+        # after a read completes, the page is cached unless dirty pages
+        # filled every slot
+        assert self.ctrl.is_cached(page) or self.ctrl.n_dirty == self.ctrl.capacity
+
+    @rule(dt=st.floats(min_value=1.0, max_value=1e7))
+    def let_time_pass(self, dt):
+        self.eng.timeout(dt)
+        self.eng.run()
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.ctrl.n_cached <= self.ctrl.capacity
+        assert 0 <= self.ctrl.n_dirty <= self.ctrl.n_cached
+
+    @invariant()
+    def nack_implies_full_of_dirty(self):
+        if self.nacks and not self.ctrl.has_room_for_write():
+            assert self.ctrl.n_dirty == self.ctrl.capacity
+
+    def teardown(self):
+        # quiesce: the flusher must eventually clean everything
+        self.eng.run()
+        assert self.ctrl.n_dirty == 0
+
+
+class ChannelMachine(RuleBasedStateMachine):
+    """Random reserve/insert/remove/time against one cache channel."""
+
+    def __init__(self):
+        super().__init__()
+        cfg = SimConfig.paper(ring_channel_bytes=4 * 4096)  # 4 slots
+        self.eng = Engine()
+        self.ch = CacheChannel(self.eng, cfg, owner=0)
+        self.reservations = 0
+        self.stored = []
+        self.next_page = 0
+
+    @rule()
+    def reserve_and_insert(self):
+        if self.ch.has_room():
+            ev = self.ch.reserve_slot()
+            assert ev.triggered
+            self.ch.insert(self.next_page)
+            self.stored.append(self.next_page)
+            self.next_page += 1
+
+    @rule()
+    def remove_oldest(self):
+        if self.stored:
+            self.ch.remove(self.stored.pop(0))
+
+    @rule(dt=st.floats(min_value=0.5, max_value=1e6))
+    def let_time_pass(self, dt):
+        self.eng.timeout(dt)
+        self.eng.run()
+
+    @invariant()
+    def capacity_and_membership(self):
+        assert self.ch.n_stored == len(self.stored)
+        assert self.ch.n_stored <= self.ch.capacity
+        for p in self.stored:
+            assert self.ch.contains(p)
+            d = self.ch.read_delay(p)
+            assert 0 <= d <= self.ch.round_trip + self.ch.insertion_time() + 1e-9
+
+
+TestController = ControllerMachine.TestCase
+TestController.settings = settings(max_examples=25, stateful_step_count=30,
+                                   deadline=None)
+TestChannel = ChannelMachine.TestCase
+TestChannel.settings = settings(max_examples=40, stateful_step_count=40,
+                                deadline=None)

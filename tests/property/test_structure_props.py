@@ -1,0 +1,111 @@
+"""Property-based tests on LRU structures, file system, and frame pool."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import block_range
+from repro.config import SimConfig
+from repro.disk.filesystem import FileSystem
+from repro.hw.memory import FramePool
+from repro.hw.tlb import Tlb
+from repro.sim import Engine
+
+
+# ------------------------------------------------------------------ TLB LRU
+@given(st.lists(st.tuples(st.sampled_from(["lookup", "insert", "invalidate"]),
+                          st.integers(min_value=0, max_value=20)),
+                max_size=200),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_tlb_matches_reference_lru(ops, capacity):
+    tlb = Tlb(capacity)
+    ref: "OrderedDict[int, int]" = OrderedDict()
+    for op, page in ops:
+        if op == "insert":
+            if page in ref:
+                ref.move_to_end(page)
+            elif len(ref) >= capacity:
+                ref.popitem(last=False)
+            ref[page] = 0
+            tlb.insert(page, 0)
+        elif op == "lookup":
+            got = tlb.lookup(page)
+            if page in ref:
+                ref.move_to_end(page)
+                assert got == 0
+            else:
+                assert got is None
+        else:
+            assert tlb.invalidate(page) == (page in ref)
+            ref.pop(page, None)
+        assert len(tlb) == len(ref)
+        assert set(iter_pages(tlb)) == set(ref)
+
+
+def iter_pages(tlb):
+    return list(tlb._entries)
+
+
+# ------------------------------------------------------------------ FileSystem
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=5000))
+@settings(max_examples=100)
+def test_fs_mapping_is_injective_and_consistent(n_disks, page):
+    fs = FileSystem(SimConfig.paper(), n_disks)
+    d, b = fs.locate(page)
+    assert 0 <= d < n_disks
+    # injectivity: a (disk, block) pair maps back to exactly one page
+    g = fs.cfg.pages_per_group
+    group_on_disk, offset = divmod(b, g)
+    recovered = (group_on_disk * n_disks + d) * g + offset
+    assert recovered == page
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2000))
+@settings(max_examples=60)
+def test_fs_consecutive_iff_same_group_neighbors(n_disks, page):
+    fs = FileSystem(SimConfig.paper(), n_disks)
+    expected = (page + 1) % fs.cfg.pages_per_group != 0
+    assert fs.consecutive_on_disk(page, page + 1) == expected
+    if expected:
+        assert fs.disk_of(page) == fs.disk_of(page + 1)
+        assert fs.block_of(page + 1) == fs.block_of(page) + 1
+
+
+# ------------------------------------------------------------------ block_range
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=100)
+def test_block_range_is_exact_partition(n_items, n_parts):
+    parts = [block_range(n_items, n_parts, p) for p in range(n_parts)]
+    flat = [i for r in parts for i in r]
+    assert flat == list(range(n_items))
+    sizes = [len(r) for r in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ------------------------------------------------------------------ FramePool
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=100),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=60)
+def test_frame_pool_conserves_frames(ops, n_frames):
+    eng = Engine()
+    pool = FramePool(eng, n_frames, min_free=1)
+    held = []
+
+    def go():
+        for op in ops:
+            if op == "alloc" and pool.n_free:
+                f = yield from pool.alloc()
+                held.append(f)
+            elif op == "free" and held:
+                pool.free(held.pop())
+        return None
+
+    eng.process(go())
+    eng.run()
+    assert pool.n_free + len(held) == n_frames
+    assert len(set(held)) == len(held)  # no frame handed out twice

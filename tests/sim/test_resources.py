@@ -1,0 +1,241 @@
+"""Tests for Resource, Store, and BandwidthPipe."""
+
+import pytest
+
+from repro.sim import BandwidthPipe, Engine, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity_immediately():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.n_waiting == 1
+
+
+def test_resource_fifo_ordering():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        with res.request() as req:
+            yield req
+            yield eng.timeout(hold)
+            order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        eng.process(worker(tag, 5))
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 15
+
+
+def test_resource_priority_ordering():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def worker(tag, prio):
+        req = res.request(priority=prio)
+        yield req
+        yield eng.timeout(1)
+        order.append(tag)
+        res.release(req)
+
+    def spawn():
+        # Occupy the server, then enqueue low before high priority.
+        req = res.request()
+        yield req
+        eng.process(worker("low", 10))
+        eng.process(worker("high", 0))
+        yield eng.timeout(5)
+        res.release(req)
+
+    eng.process(spawn())
+    eng.run()
+    assert order == ["high", "low"]
+
+
+def test_release_of_queued_request_cancels_it():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    held = res.request()
+    queued = res.request()
+    assert not queued.triggered
+    res.release(queued)  # abandon the queued claim
+    assert res.n_waiting == 0
+    res.release(held)
+
+
+def test_release_unknown_request_raises():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    r = res.request()
+    res.release(r)
+    with pytest.raises(RuntimeError):
+        res.release(r)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Resource(Engine(), capacity=0)
+
+
+def test_utilization_single_user():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def worker():
+        with res.request() as req:
+            yield req
+            yield eng.timeout(10)
+
+    eng.process(worker())
+    eng.run()
+    eng.timeout(10)
+    eng.run()
+    assert res.utilization(total_time=20.0) == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------- Store
+def test_store_fifo():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for x in (1, 2, 3):
+            yield store.put(x)
+            yield eng.timeout(1)
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+    arrival = []
+
+    def consumer():
+        item = yield store.get()
+        arrival.append((eng.now, item))
+
+    def producer():
+        yield eng.timeout(42)
+        yield store.put("late")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert arrival == [(42.0, "late")]
+
+
+def test_bounded_store_put_blocks():
+    eng = Engine()
+    store = Store(eng, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        t0 = eng.now
+        yield store.put("b")  # blocks until "a" is taken
+        times.append((t0, eng.now))
+
+    def consumer():
+        yield eng.timeout(10)
+        item = yield store.get()
+        assert item == "a"
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert times == [(0.0, 10.0)]
+    assert len(store) == 1  # "b" now buffered
+
+
+def test_store_len():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    store.put(2)
+    eng.run()
+    assert len(store) == 2
+
+
+def test_store_capacity_validation():
+    with pytest.raises(ValueError):
+        Store(Engine(), capacity=0)
+
+
+def test_store_handoff_to_waiting_getter():
+    eng = Engine()
+    store = Store(eng, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    eng.process(consumer())
+    eng.run()
+    store.put("direct")
+    eng.run()
+    assert got == ["direct"]
+    assert len(store) == 0
+
+
+# ---------------------------------------------------------------- BandwidthPipe
+def test_pipe_busy_time():
+    eng = Engine()
+    pipe = BandwidthPipe(eng, rate=100.0, overhead=2.0)
+    assert pipe.busy_time(500) == pytest.approx(7.0)
+
+
+def test_pipe_transfer_takes_serialization_time():
+    eng = Engine()
+    pipe = BandwidthPipe(eng, rate=10.0)
+
+    def xfer():
+        yield from pipe.transfer(100)
+
+    eng.process(xfer())
+    eng.run()
+    assert eng.now == pytest.approx(10.0)
+    assert pipe.bytes_transferred == 100
+
+
+def test_pipe_contention_serializes():
+    eng = Engine()
+    pipe = BandwidthPipe(eng, rate=10.0)
+    done = []
+
+    def xfer(tag):
+        yield from pipe.transfer(100)
+        done.append((tag, eng.now))
+
+    eng.process(xfer("a"))
+    eng.process(xfer("b"))
+    eng.run()
+    assert done == [("a", 10.0), ("b", 20.0)]
+
+
+def test_pipe_rejects_bad_params():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        BandwidthPipe(eng, rate=0)
+    with pytest.raises(ValueError):
+        BandwidthPipe(eng, rate=1, overhead=-1)
+    pipe = BandwidthPipe(eng, rate=1)
+    with pytest.raises(ValueError):
+        pipe.busy_time(-5)

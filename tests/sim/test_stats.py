@@ -1,0 +1,121 @@
+"""Tests for the statistics accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Counter, Histogram, Tally, TimeWeighted
+
+
+# ---------------------------------------------------------------- Counter
+def test_counter_add_and_get():
+    c = Counter()
+    assert c["missing"] == 0
+    c.add("x")
+    c.add("x", 4)
+    assert c["x"] == 5
+    assert c.as_dict() == {"x": 5}
+
+
+# ---------------------------------------------------------------- Tally
+def test_tally_empty():
+    t = Tally()
+    assert t.n == 0
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+    assert t.min is None and t.max is None
+
+
+def test_tally_matches_numpy():
+    rng = np.random.default_rng(7)
+    xs = rng.normal(10, 3, size=500)
+    t = Tally()
+    for x in xs:
+        t.record(float(x))
+    assert t.mean == pytest.approx(float(np.mean(xs)))
+    assert t.variance == pytest.approx(float(np.var(xs, ddof=1)))
+    assert t.std == pytest.approx(float(np.std(xs, ddof=1)))
+    assert t.min == pytest.approx(float(np.min(xs)))
+    assert t.max == pytest.approx(float(np.max(xs)))
+    assert t.total == pytest.approx(float(np.sum(xs)))
+
+
+def test_tally_merge_equals_combined():
+    rng = np.random.default_rng(3)
+    xs = rng.uniform(0, 1, 100)
+    ys = rng.uniform(5, 9, 37)
+    ta, tb, tall = Tally(), Tally(), Tally()
+    for x in xs:
+        ta.record(float(x))
+        tall.record(float(x))
+    for y in ys:
+        tb.record(float(y))
+        tall.record(float(y))
+    ta.merge(tb)
+    assert ta.n == tall.n
+    assert ta.mean == pytest.approx(tall.mean)
+    assert ta.variance == pytest.approx(tall.variance)
+    assert ta.min == tall.min and ta.max == tall.max
+
+
+def test_tally_merge_with_empty():
+    t = Tally()
+    t.record(5.0)
+    t.merge(Tally())
+    assert t.n == 1
+    empty = Tally()
+    empty.merge(t)
+    assert empty.n == 1 and empty.mean == 5.0
+
+
+# ---------------------------------------------------------------- TimeWeighted
+def test_time_weighted_mean():
+    tw = TimeWeighted(t0=0.0, level=0.0)
+    tw.update(10.0, 4.0)   # level 0 for [0,10)
+    tw.update(20.0, 0.0)   # level 4 for [10,20)
+    assert tw.mean(20.0) == pytest.approx(2.0)
+    assert tw.max_level == 4.0
+
+
+def test_time_weighted_extends_to_t_end():
+    tw = TimeWeighted()
+    tw.update(0.0, 2.0)
+    assert tw.mean(10.0) == pytest.approx(2.0)
+
+
+def test_time_weighted_rejects_backwards_time():
+    tw = TimeWeighted()
+    tw.update(5.0, 1.0)
+    with pytest.raises(ValueError):
+        tw.update(4.0, 2.0)
+
+
+def test_time_weighted_zero_span():
+    tw = TimeWeighted(t0=0.0, level=3.0)
+    assert tw.mean(0.0) == 3.0
+
+
+# ---------------------------------------------------------------- Histogram
+def test_histogram_bins_and_flows():
+    h = Histogram(0.0, 10.0, nbins=10)
+    for x in (-1, 0, 0.5, 5, 9.99, 10, 100):
+        h.record(x)
+    assert h.underflow == 1
+    assert h.overflow == 2
+    assert h.bins[0] == 2
+    assert h.bins[5] == 1
+    assert h.bins[9] == 1
+    assert h.n == 7
+
+
+def test_histogram_edges():
+    h = Histogram(0.0, 4.0, nbins=4)
+    assert list(h.edges()) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(5, 5, 3)
+    with pytest.raises(ValueError):
+        Histogram(0, 1, 0)

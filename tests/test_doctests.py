@@ -1,0 +1,36 @@
+"""Run the doctests embedded in the public-facing docstrings."""
+
+import doctest
+
+import repro
+import repro.sim.engine
+import repro.sim.rng
+import repro.sim.stats
+
+
+def _run(module):
+    failures, tried = doctest.testmod(module, verbose=False).counted
+    return failures, tried
+
+
+def test_package_quickstart_doctest():
+    result = doctest.testmod(repro, verbose=False)
+    assert result.attempted >= 2
+    assert result.failed == 0
+
+
+def test_engine_doctest():
+    result = doctest.testmod(repro.sim.engine, verbose=False)
+    assert result.attempted >= 1
+    assert result.failed == 0
+
+
+def test_rng_doctest():
+    result = doctest.testmod(repro.sim.rng, verbose=False)
+    assert result.attempted >= 1
+    assert result.failed == 0
+
+
+def test_stats_doctest():
+    result = doctest.testmod(repro.sim.stats, verbose=False)
+    assert result.failed == 0

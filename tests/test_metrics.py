@@ -1,0 +1,37 @@
+"""Tests for the cross-cutting Metrics collector."""
+
+import pytest
+
+from repro.metrics import Metrics
+
+
+def test_empty_metrics():
+    m = Metrics()
+    assert m.ring_hit_rate == 0.0
+    assert m.disk_cache_hit_rate == 0.0
+    assert m.summary()["swapout_count"] == 0.0
+
+
+def test_ring_hit_rate():
+    m = Metrics()
+    m.counts.add("faults", 10)
+    m.counts.add("ring_hits", 4)
+    assert m.ring_hit_rate == pytest.approx(0.4)
+
+
+def test_disk_cache_hit_rate():
+    m = Metrics()
+    m.counts.add("disk_cache_hits", 3)
+    m.counts.add("disk_reads", 1)
+    assert m.disk_cache_hit_rate == pytest.approx(0.75)
+
+
+def test_summary_includes_counters_and_tallies():
+    m = Metrics()
+    m.swapout.record(100.0)
+    m.swapout.record(300.0)
+    m.counts.add("faults", 5)
+    s = m.summary()
+    assert s["swapout_mean_pcycles"] == pytest.approx(200.0)
+    assert s["swapout_count"] == 2.0
+    assert s["n_faults"] == 5.0

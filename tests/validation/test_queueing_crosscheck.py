@@ -1,0 +1,65 @@
+"""Validation: the kernel's queues agree with queueing theory.
+
+Drives a single-server deterministic-service resource with Poisson
+arrivals and compares the measured mean wait against the M/D/1 formula
+``W = rho * S / (2 (1 - rho))`` — the same model
+:class:`repro.core.analytic.SwapBacklogModel` uses to explain the
+standard machine's swap-out explosion.  Validates that our Resource
+queueing behaves like a real queue, not just that it "works".
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.analytic import SwapBacklogModel
+from repro.sim import Engine, Resource, RngRegistry, Tally
+
+
+def run_md1(rho: float, service: float = 100.0, n_jobs: int = 4000) -> float:
+    eng = Engine()
+    server = Resource(eng, capacity=1)
+    rng = RngRegistry(42).stream("arrivals")
+    waits = Tally()
+    inter = service / rho
+
+    def source():
+        for _ in range(n_jobs):
+            yield eng.timeout(float(rng.exponential(inter)))
+            eng.process(job())
+
+    def job():
+        t0 = eng.now
+        req = server.request()
+        yield req
+        waits.record(eng.now - t0)
+        yield eng.timeout(service)
+        server.release(req)
+
+    eng.process(source())
+    eng.run()
+    return waits.mean
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+def test_md1_mean_wait_matches_theory(rho):
+    service = 100.0
+    measured = run_md1(rho, service)
+    expected = rho * service / (2 * (1 - rho))
+    # 4000 samples: accept 15% statistical tolerance
+    assert measured == pytest.approx(expected, rel=0.15)
+
+
+def test_light_load_has_negligible_wait():
+    assert run_md1(0.05) < 5.0
+
+
+def test_backlog_model_agrees_with_simulated_queue():
+    """The analytic SwapBacklogModel and a simulated M/D/1 with the same
+    service time must agree on the queueing wait."""
+    cfg = SimConfig.paper()
+    model = SwapBacklogModel(cfg)
+    service = model.service_pcycles
+    rho = 0.7
+    measured = run_md1(rho, service, n_jobs=2000)
+    expected = model.mean_wait_pcycles(rho / service)
+    assert measured == pytest.approx(expected, rel=0.2)
