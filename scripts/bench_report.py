@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Write BENCH_kernel.json: the repo's performance trajectory record.
+
+Measures, without pytest overhead so numbers are comparable across runs:
+
+* event-kernel throughput (bare timeouts and process switches, events/sec);
+* wall-clock of one end-to-end experiment cell (events/sec too);
+* serial vs parallel wall-clock for a small grid through
+  ``repro.core.batch.run_batch`` (cache disabled), plus the warm-cache
+  re-run time for the same grid.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_report.py [--scale 0.1]
+        [--jobs N] [--out BENCH_kernel.json]
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.batch import default_jobs, grid_specs, run_batch
+from repro.core.cache import ResultCache
+from repro.sim import Engine
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock of ``repeats`` calls (noise-resistant)."""
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bench_timeouts(n: int = 50_000) -> float:
+    """Events/sec scheduling and draining bare timeouts."""
+    def run():
+        eng = Engine()
+        for i in range(n):
+            eng.timeout(i % 97)
+        eng.run()
+
+    return n / _best_of(run)
+
+
+def bench_process_switches(n: int = 20_000) -> float:
+    """Generator suspend/resume cycles per second."""
+    def run():
+        eng = Engine()
+
+        def proc():
+            for _ in range(n):
+                yield eng.timeout(1)
+
+        eng.process(proc())
+        eng.run()
+
+    return n / _best_of(run)
+
+
+def bench_cell(scale: float) -> dict:
+    """One end-to-end experiment: wall-clock and simulation events/sec."""
+    from repro.core.runner import run_experiment
+
+    t0 = time.perf_counter()
+    res = run_experiment("sor", "nwcache", "optimal", data_scale=scale)
+    dt = time.perf_counter() - t0
+    return {
+        "wall_seconds": dt,
+        "events_processed": res.events_processed,
+        "events_per_second": res.events_processed / dt,
+    }
+
+
+def bench_grid(scale: float, jobs: int, tmp_cache: Path) -> dict:
+    """Serial vs parallel vs warm-cache wall-clock for a small grid."""
+    specs = grid_specs(
+        ["sor", "gauss"], ("standard", "nwcache"), ("optimal",),
+        data_scale=scale,
+    )
+    serial = _timed(lambda: run_batch(specs, jobs=1, cache=False))
+    parallel = _timed(lambda: run_batch(specs, jobs=jobs, cache=False))
+    cache = ResultCache(tmp_cache)
+    run_batch(specs, jobs=jobs, cache=cache)  # populate
+    warm = _timed(lambda: run_batch(specs, jobs=jobs, cache=ResultCache(tmp_cache)))
+    return {
+        "cells": len(specs),
+        "jobs": jobs,
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+        "parallel_speedup": serial / parallel if parallel > 0 else 0.0,
+        "warm_cache_seconds": warm,
+        "warm_cache_fraction_of_serial": warm / serial if serial > 0 else 0.0,
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.1)
+    ap.add_argument("--jobs", type=int, default=None)
+    ap.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"))
+    args = ap.parse_args()
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
+    import tempfile
+
+    print("benchmarking event kernel ...", file=sys.stderr)
+    report = {
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": default_jobs(),
+        "scale": args.scale,
+        "kernel": {
+            "timeout_events_per_second": bench_timeouts(),
+            "process_switches_per_second": bench_process_switches(),
+        },
+    }
+    print("benchmarking end-to-end cell ...", file=sys.stderr)
+    report["cell"] = bench_cell(args.scale)
+    print("benchmarking batch grid (serial/parallel/warm cache) ...",
+          file=sys.stderr)
+    with tempfile.TemporaryDirectory() as tmp:
+        report["grid"] = bench_grid(args.scale, jobs, Path(tmp))
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    k, g = report["kernel"], report["grid"]
+    print(f"timeout throughput : {k['timeout_events_per_second']:,.0f} ev/s")
+    print(f"process switches   : {k['process_switches_per_second']:,.0f} /s")
+    print(f"cell simulation    : {report['cell']['events_per_second']:,.0f} ev/s "
+          f"({report['cell']['wall_seconds']:.2f}s)")
+    print(f"grid serial        : {g['serial_seconds']:.2f}s")
+    print(f"grid parallel x{g['jobs']:<3d}: {g['parallel_seconds']:.2f}s "
+          f"({g['parallel_speedup']:.2f}x)")
+    print(f"grid warm cache    : {g['warm_cache_seconds']:.3f}s "
+          f"({g['warm_cache_fraction_of_serial']:.1%} of serial)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

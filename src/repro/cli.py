@@ -12,6 +12,12 @@ Commands
     Regenerate paper table N (3-8) across all applications.
 ``figure N``
     Regenerate paper figure N (3 or 4).
+``batch``
+    Run a grid of experiments through the parallel batch runner.
+
+Grid-running commands (``compare``, ``table``, ``figure``, ``sweep``,
+``batch``) accept ``--jobs N`` (worker processes; default = CPU count)
+and ``--no-cache`` (skip the on-disk result cache).
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.apps import APP_NAMES, make_app
 from repro.config import SimConfig
 from repro.core import report
 from repro.core.machine import RunResult
-from repro.core.runner import linear_scale, run_experiment, run_pair
+from repro.core.runner import linear_scale, run_experiment
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -32,6 +38,17 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="fraction of the paper's data size (default 0.25)")
     p.add_argument("--prefetch", choices=("optimal", "naive", "stream"),
                    default="optimal")
+
+
+def _add_batch_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: NWCACHE_JOBS or CPU count)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not read or write the on-disk result cache")
+
+
+def _cache_arg(args: argparse.Namespace):
+    return False if getattr(args, "no_cache", False) else None
 
 
 def _summary(res: RunResult) -> str:
@@ -93,7 +110,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    std, nwc = run_pair(args.app, prefetch=args.prefetch, data_scale=args.scale)
+    from repro.core.batch import run_pairs_batch
+
+    pairs = run_pairs_batch(
+        [args.app], prefetch=args.prefetch, data_scale=args.scale,
+        jobs=args.jobs, cache=_cache_arg(args),
+    )
+    std, nwc = pairs[args.app]
     print(_summary(std))
     print()
     print(_summary(nwc))
@@ -102,33 +125,44 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _all_pairs(prefetch: str, scale: float, apps: List[str]):
-    pairs = {}
-    for app in apps:
-        print(f"  running {app} ({prefetch}) ...", file=sys.stderr)
-        pairs[app] = run_pair(app, prefetch=prefetch, data_scale=scale)
-    return pairs
+def _progress(spec, res, cached: bool) -> None:
+    state = "cached" if cached else "ran"
+    print(f"  {state} {spec.app} {spec.system}/{spec.prefetch}",
+          file=sys.stderr)
+
+
+def _all_pairs(prefetch: str, args: argparse.Namespace, apps: List[str]):
+    from repro.core.batch import run_pairs_batch
+
+    return run_pairs_batch(
+        apps, prefetch=prefetch, data_scale=args.scale,
+        jobs=args.jobs, cache=_cache_arg(args), progress=_progress,
+    )
 
 
 def cmd_table(args: argparse.Namespace) -> int:
     apps = args.apps or APP_NAMES
     n = args.number
     if n in (3, 5):
-        pairs = _all_pairs("optimal", args.scale, apps)
+        pairs = _all_pairs("optimal", args, apps)
         text = (report.table_swapout(pairs, "optimal") if n == 3
                 else report.table_combining(pairs, "optimal"))
     elif n in (4, 6, 8):
-        pairs = _all_pairs("naive", args.scale, apps)
+        pairs = _all_pairs("naive", args, apps)
         text = {
             4: lambda: report.table_swapout(pairs, "naive"),
             6: lambda: report.table_combining(pairs, "naive"),
             8: lambda: report.table_disk_hit_latency(pairs),
         }[n]()
     elif n == 7:
-        naive = {a: run_experiment(a, "nwcache", "naive",
-                                   data_scale=args.scale) for a in apps}
-        optimal = {a: run_experiment(a, "nwcache", "optimal",
-                                     data_scale=args.scale) for a in apps}
+        from repro.core.batch import ExperimentSpec, run_batch
+
+        specs = [ExperimentSpec(a, "nwcache", pf, data_scale=args.scale)
+                 for pf in ("naive", "optimal") for a in apps]
+        results = run_batch(specs, jobs=args.jobs, cache=_cache_arg(args),
+                            progress=_progress)
+        naive = dict(zip(apps, results[: len(apps)]))
+        optimal = dict(zip(apps, results[len(apps):]))
         text = report.table_hit_rates(naive, optimal)
     else:
         print(f"no such table: {n} (know 3-8)", file=sys.stderr)
@@ -142,7 +176,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(f"no such figure: {args.number} (know 3, 4)", file=sys.stderr)
         return 2
     prefetch = "optimal" if args.number == 3 else "naive"
-    pairs = _all_pairs(prefetch, args.scale, args.apps or APP_NAMES)
+    pairs = _all_pairs(prefetch, args, args.apps or APP_NAMES)
     print(report.figure_breakdown(pairs, prefetch))
     return 0
 
@@ -156,9 +190,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         system=args.system,
         prefetch=args.prefetch,
         data_scale=args.scale,
+        jobs=args.jobs,
+        cache=_cache_arg(args),
         **{args.parameter: values},
     )
     print(tabulate(rows, title=f"{args.app}: {args.parameter} sweep"))
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.batch import grid_specs, resolve_cache, run_batch
+
+    apps = args.apps or APP_NAMES
+    systems = args.systems or ["standard", "nwcache"]
+    prefetchers = args.prefetchers or [args.prefetch]
+    specs = grid_specs(apps, systems, prefetchers, data_scale=args.scale)
+    cache = resolve_cache(_cache_arg(args))
+    results = run_batch(
+        specs, jobs=args.jobs,
+        cache=cache if cache is not None else False,
+        progress=_progress,
+    )
+    for spec, res in zip(specs, results):
+        print(f"{spec.app:6s} {spec.system:8s} {spec.prefetch:8s} "
+              f"exec={res.exec_time / 1e6:10.2f} Mpc  "
+              f"swapout={res.swapout_mean / 1e3:8.1f} Kpc  "
+              f"hit={res.ring_hit_rate:6.1%}")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses",
+              file=sys.stderr)
+    if args.json:
+        from repro.core.export import save_full_results
+
+        n = save_full_results(args.json, results)
+        print(f"wrote {n} results to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -203,18 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="standard vs NWCache on one app")
     p.add_argument("app", choices=APP_NAMES)
     _add_common(p)
+    _add_batch_opts(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("table", help="regenerate a paper table (3-8)")
     p.add_argument("number", type=int)
     p.add_argument("--apps", nargs="*", choices=APP_NAMES)
     _add_common(p)
+    _add_batch_opts(p)
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (3 or 4)")
     p.add_argument("number", type=int)
     p.add_argument("--apps", nargs="*", choices=APP_NAMES)
     _add_common(p)
+    _add_batch_opts(p)
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("sweep", help="sweep one machine parameter")
@@ -225,7 +294,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", choices=("standard", "nwcache"),
                    default="nwcache")
     _add_common(p)
+    _add_batch_opts(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "batch", help="run an experiment grid via the parallel batch runner"
+    )
+    p.add_argument("--apps", nargs="*", choices=APP_NAMES)
+    p.add_argument("--systems", nargs="*", choices=("standard", "nwcache"))
+    p.add_argument("--prefetchers", nargs="*",
+                   choices=("optimal", "naive", "stream"))
+    p.add_argument("--json", metavar="PATH",
+                   help="write full-fidelity results as JSON to PATH")
+    _add_common(p)
+    _add_batch_opts(p)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("trace", help="record / replay workload traces")
     tsub = p.add_subparsers(dest="trace_command", required=True)

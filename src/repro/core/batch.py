@@ -1,0 +1,237 @@
+"""Batch execution: fan an experiment grid out over a process pool.
+
+The paper's evaluation is a grid of *independent* simulations (7 apps x 2
+systems x up to 3 prefetchers, plus ablation sweeps).  Each cell is a
+pure, deterministic function of its inputs, so cells can run in any
+order, on any worker, with bit-identical results — per-cell seeding lives
+entirely in :class:`~repro.config.SimConfig` (see
+:class:`~repro.sim.rng.RngRegistry`).
+
+:func:`run_batch` is the single entry point: it consults the
+content-addressed :class:`~repro.core.cache.ResultCache` first, runs only
+the missing cells (in parallel when ``jobs > 1``), stores the fresh
+results, and returns everything in spec order.
+
+::
+
+    from repro.core.batch import ExperimentSpec, run_batch
+    specs = [ExperimentSpec("sor", sys, "optimal", data_scale=0.2)
+             for sys in ("standard", "nwcache")]
+    std, nwc = run_batch(specs, jobs=4)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SimConfig
+from repro.core.cache import ResultCache, cache_key
+from repro.core.machine import RunResult, SYSTEM_NWCACHE, SYSTEM_STANDARD
+from repro.core.runner import (
+    BEST_MIN_FREE,
+    experiment_config,
+    run_experiment,
+    scaled_min_free,
+)
+
+#: Type accepted by run_batch's ``cache`` parameter: an explicit cache,
+#: ``None`` for the default on-disk cache, or ``False`` to disable caching.
+CacheArg = Union[ResultCache, None, bool]
+
+ProgressFn = Callable[["ExperimentSpec", RunResult, bool], None]
+
+
+@dataclass
+class ExperimentSpec:
+    """One cell of the evaluation grid (the inputs of ``run_experiment``)."""
+
+    app: str
+    system: str = SYSTEM_STANDARD
+    prefetch: str = "optimal"
+    data_scale: float = 1.0
+    min_free: Optional[int] = None
+    drain_policy: str = "most-loaded"
+    cfg: Optional[SimConfig] = None
+    app_params: Dict[str, Any] = field(default_factory=dict)
+
+    def resolved_config(self) -> SimConfig:
+        """The exact SimConfig ``run_experiment`` would simulate with."""
+        min_free = self.min_free
+        if min_free is None:
+            min_free = BEST_MIN_FREE[(self.system, self.prefetch)]
+        if self.cfg is None:
+            return experiment_config(self.data_scale, min_free=min_free)
+        return self.cfg.replace(
+            min_free_frames=scaled_min_free(
+                min_free, self.data_scale, self.cfg.frames_per_node
+            )
+        )
+
+    def key(self) -> str:
+        """Content hash of every input that determines this cell's result."""
+        if not isinstance(self.app, str):
+            raise TypeError(
+                f"cache keys need a string app name, got {self.app!r}; "
+                "run Workload instances through run_experiment directly"
+            )
+        return cache_key(
+            self.resolved_config(),
+            self.app,
+            self.system,
+            self.prefetch,
+            drain_policy=self.drain_policy,
+            data_scale=self.data_scale,
+            app_params=self.app_params,
+        )
+
+    def run(self) -> RunResult:
+        """Execute this cell serially (the worker function)."""
+        return run_experiment(
+            self.app,
+            self.system,
+            self.prefetch,
+            data_scale=self.data_scale,
+            min_free=self.min_free,
+            cfg=self.cfg,
+            drain_policy=self.drain_policy,
+            **self.app_params,
+        )
+
+
+def _run_spec(spec: ExperimentSpec) -> RunResult:
+    """Module-level pool target (must be picklable by name)."""
+    return spec.run()
+
+
+def resolve_cache(cache: CacheArg) -> Optional[ResultCache]:
+    """Normalize run_batch's ``cache`` argument (None -> default cache)."""
+    if cache is False:
+        return None
+    if cache is None or cache is True:
+        return ResultCache.default()
+    return cache
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is unspecified: one per available core."""
+    env = os.environ.get("NWCACHE_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"NWCACHE_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def run_batch(
+    specs: Sequence[ExperimentSpec],
+    jobs: Optional[int] = None,
+    cache: CacheArg = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[RunResult]:
+    """Run a grid of experiment cells, cached and in parallel.
+
+    Parameters
+    ----------
+    specs:
+        The cells to evaluate; results come back in the same order.
+    jobs:
+        Worker processes (default: ``NWCACHE_JOBS`` env or CPU count).
+        ``1`` forces in-process serial execution.
+    cache:
+        ``None`` (default) uses the on-disk :class:`ResultCache` at its
+        environment-resolved location; ``False`` disables caching; or
+        pass an explicit :class:`ResultCache`.
+    progress:
+        Optional callback ``progress(spec, result, was_cached)`` invoked
+        as each cell completes (cached cells first, then run order).
+    """
+    specs = list(specs)
+    store = resolve_cache(cache)
+    results: List[Optional[RunResult]] = [None] * len(specs)
+
+    misses: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
+    for i, spec in enumerate(specs):
+        key = spec.key() if store is not None else None
+        hit = store.get(key) if store is not None else None
+        if hit is not None:
+            results[i] = hit
+            if progress is not None:
+                progress(spec, hit, True)
+        else:
+            misses.append((i, spec, key))
+
+    if misses:
+        if jobs is None:
+            jobs = default_jobs()
+        jobs = max(1, min(jobs, len(misses)))
+        miss_specs = [spec for _, spec, _ in misses]
+        if jobs == 1:
+            fresh = map(_run_spec, miss_specs)
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            pool = ctx.Pool(processes=jobs)
+            try:
+                fresh = pool.imap(_run_spec, miss_specs, chunksize=1)
+                fresh = list(fresh)
+            finally:
+                pool.close()
+                pool.join()
+        for (i, spec, key), res in zip(misses, fresh):
+            results[i] = res
+            if store is not None and key is not None:
+                store.put(key, res)
+            if progress is not None:
+                progress(spec, res, False)
+
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def grid_specs(
+    apps: Sequence[str],
+    systems: Sequence[str] = (SYSTEM_STANDARD, SYSTEM_NWCACHE),
+    prefetches: Sequence[str] = ("optimal",),
+    data_scale: float = 1.0,
+    **kwargs: Any,
+) -> List[ExperimentSpec]:
+    """The full cross product of (app, system, prefetch) cells."""
+    return [
+        ExperimentSpec(app, system, prefetch, data_scale=data_scale, **kwargs)
+        for app in apps
+        for system in systems
+        for prefetch in prefetches
+    ]
+
+
+def run_pairs_batch(
+    apps: Sequence[str],
+    prefetch: str = "optimal",
+    data_scale: float = 1.0,
+    jobs: Optional[int] = None,
+    cache: CacheArg = None,
+    progress: Optional[ProgressFn] = None,
+    **kwargs: Any,
+) -> Dict[str, Tuple[RunResult, RunResult]]:
+    """(standard, nwcache) result pairs for each app, via one batch."""
+    specs = grid_specs(
+        apps, prefetches=(prefetch,), data_scale=data_scale, **kwargs
+    )
+    results = run_batch(specs, jobs=jobs, cache=cache, progress=progress)
+    out: Dict[str, Tuple[RunResult, RunResult]] = {}
+    by_cell = {
+        (s.app, s.system): r for s, r in zip(specs, results)
+    }
+    for app in apps:
+        out[app] = (
+            by_cell[(app, SYSTEM_STANDARD)],
+            by_cell[(app, SYSTEM_NWCACHE)],
+        )
+    return out

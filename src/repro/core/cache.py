@@ -1,0 +1,171 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A simulation is a pure function of its inputs: the machine configuration,
+the workload identity (app name, scale, app parameters), the system
+variant, the prefetcher, and the drain policy.  :func:`cache_key` hashes
+exactly those inputs (plus a format version), so a :class:`ResultCache`
+can return a previously pickled :class:`~repro.core.machine.RunResult`
+instead of re-simulating — re-running a bench suite or a sweep with
+unchanged inputs becomes I/O-bound instead of CPU-bound.
+
+Cache location, in priority order:
+
+1. ``NWCACHE_CACHE_DIR`` environment variable;
+2. ``$XDG_CACHE_HOME/nwcache`` when ``XDG_CACHE_HOME`` is set;
+3. ``~/.cache/nwcache``.
+
+Invalidation: the key covers every simulation *input* but not the
+simulator's *code*.  :data:`CACHE_FORMAT_VERSION` is bumped whenever a
+model change alters results; after local model hacking, clear the cache
+(``ResultCache.default().clear()`` or ``rm -rf`` the directory) or run
+with caching disabled (``--no-cache`` on the CLI and scripts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.config import SimConfig
+from repro.core.machine import RunResult
+
+#: Bump when a simulator change alters results for identical inputs.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment (see module doc)."""
+    env = os.environ.get("NWCACHE_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "nwcache"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to deterministic JSON-encodable primitives."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips floats exactly; avoids json float formatting drift
+        return repr(obj)
+    return repr(obj)
+
+
+def cache_key(
+    cfg: SimConfig,
+    app: str,
+    system: str,
+    prefetch: str,
+    drain_policy: str = "most-loaded",
+    data_scale: float = 1.0,
+    app_params: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Hex digest identifying one simulation cell's complete inputs."""
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "cfg": _canonical(dataclasses.asdict(cfg)),
+        "app": app,
+        "system": system,
+        "prefetch": prefetch,
+        "drain_policy": drain_policy,
+        "data_scale": repr(float(data_scale)),
+        "app_params": _canonical(app_params or {}),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-backed store of :class:`RunResult` keyed by input digest.
+
+    Thread/process safe for concurrent writers: entries are written to a
+    temp file and atomically renamed, so readers never see partial data.
+    """
+
+    def __init__(self, directory: "Path | str | None" = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """Cache at the environment-resolved default location."""
+        return cls()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fanout keeps directories small for big sweep grids.
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Return the cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                res = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(res, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return res
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (atomic, last-writer-wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        n = 0
+        if not self.directory.exists():
+            return 0
+        for entry in self.directory.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                n += 1
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        return n
+
+    def stats(self) -> Dict[str, int]:
+        """Session hit/miss counters (not persisted)."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.directory)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

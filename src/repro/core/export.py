@@ -3,6 +3,15 @@
 Lets experiment scripts persist sweeps and lets downstream analyses
 (plotting, regression tracking) consume the simulator's output without
 importing the simulator.
+
+Two fidelities:
+
+* :func:`result_to_dict` — a flat, analysis-friendly summary (one-way).
+* :func:`result_to_full_dict` / :func:`result_from_full_dict` — a
+  lossless round trip reconstructing the :class:`RunResult` with its
+  :class:`~repro.config.SimConfig`, :class:`~repro.metrics.Metrics`,
+  tallies, and per-CPU time accounts, so batch runs can be archived as
+  JSON and reloaded for later comparison.
 """
 
 from __future__ import annotations
@@ -11,7 +20,11 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List
 
+from repro.config import SimConfig
 from repro.core.machine import RunResult
+from repro.hw.accounting import TimeAccount
+from repro.metrics import Metrics
+from repro.sim import Tally
 
 
 def result_to_dict(res: RunResult) -> Dict[str, Any]:
@@ -44,6 +57,123 @@ def result_to_dict(res: RunResult) -> Dict[str, Any]:
             "seed": res.cfg.seed,
         },
     }
+
+
+# --------------------------------------------------------------- full fidelity
+def _tally_to_dict(t: Tally) -> Dict[str, Any]:
+    return {
+        "n": t.n, "mean": t._mean, "m2": t._m2, "total": t.total,
+        "min": t.min, "max": t.max,
+    }
+
+
+def _tally_from_dict(d: Dict[str, Any]) -> Tally:
+    t = Tally()
+    t.n = int(d["n"])
+    t._mean = float(d["mean"])
+    t._m2 = float(d["m2"])
+    t.total = float(d["total"])
+    t.min = d["min"]
+    t.max = d["max"]
+    return t
+
+
+def _metrics_to_dict(m: Metrics) -> Dict[str, Any]:
+    return {
+        "swapout": _tally_to_dict(m.swapout),
+        "swapout_wait": _tally_to_dict(m.swapout_wait),
+        "fault_latency": _tally_to_dict(m.fault_latency),
+        "disk_hit_latency": _tally_to_dict(m.disk_hit_latency),
+        "ring_hit_latency": _tally_to_dict(m.ring_hit_latency),
+        "counts": m.counts.as_dict(),
+    }
+
+
+def _metrics_from_dict(d: Dict[str, Any]) -> Metrics:
+    m = Metrics()
+    for name in ("swapout", "swapout_wait", "fault_latency",
+                 "disk_hit_latency", "ring_hit_latency"):
+        setattr(m, name, _tally_from_dict(d[name]))
+    for key, val in d["counts"].items():
+        m.counts.add(key, int(val))
+    return m
+
+
+def _config_to_dict(cfg: SimConfig) -> Dict[str, Any]:
+    import dataclasses
+
+    d = dataclasses.asdict(cfg)
+    d["mesh_shape"] = list(d["mesh_shape"])
+    return d
+
+
+def _config_from_dict(d: Dict[str, Any]) -> SimConfig:
+    params = dict(d)
+    params["mesh_shape"] = tuple(params.get("mesh_shape", ()))
+    return SimConfig(**params)
+
+
+def result_to_full_dict(res: RunResult) -> Dict[str, Any]:
+    """Lossless JSON-encodable form of a RunResult."""
+    return {
+        "app": res.app,
+        "system": res.system,
+        "prefetch": res.prefetch,
+        "cfg": _config_to_dict(res.cfg),
+        "exec_time": res.exec_time,
+        "breakdown": dict(res.breakdown),
+        "metrics": _metrics_to_dict(res.metrics),
+        "combining": _tally_to_dict(res.combining),
+        "swapout_mean": res.swapout_mean,
+        "ring_hit_rate": res.ring_hit_rate,
+        "disk_hit_latency": res.disk_hit_latency,
+        "events_processed": res.events_processed,
+        "per_cpu": [acct.as_dict() for acct in res.per_cpu],
+        "network_bytes": res.network_bytes,
+        "extras": dict(res.extras),
+    }
+
+
+def result_from_full_dict(d: Dict[str, Any]) -> RunResult:
+    """Reconstruct a RunResult saved by :func:`result_to_full_dict`."""
+    per_cpu = []
+    for times in d["per_cpu"]:
+        acct = TimeAccount()
+        for cat, dt in times.items():
+            acct.charge(cat, dt)
+        per_cpu.append(acct)
+    return RunResult(
+        app=d["app"],
+        system=d["system"],
+        prefetch=d["prefetch"],
+        cfg=_config_from_dict(d["cfg"]),
+        exec_time=float(d["exec_time"]),
+        breakdown={k: float(v) for k, v in d["breakdown"].items()},
+        metrics=_metrics_from_dict(d["metrics"]),
+        combining=_tally_from_dict(d["combining"]),
+        swapout_mean=float(d["swapout_mean"]),
+        ring_hit_rate=float(d["ring_hit_rate"]),
+        disk_hit_latency=float(d["disk_hit_latency"]),
+        events_processed=int(d["events_processed"]),
+        per_cpu=per_cpu,
+        network_bytes=int(d["network_bytes"]),
+        extras={k: float(v) for k, v in d["extras"].items()},
+    )
+
+
+def save_full_results(path: "Path | str", results: Iterable[RunResult]) -> int:
+    """Write losslessly reloadable results; returns how many were written."""
+    payload = [result_to_full_dict(r) for r in results]
+    Path(path).write_text(json.dumps(payload, sort_keys=True) + "\n")
+    return len(payload)
+
+
+def load_full_results(path: "Path | str") -> List[RunResult]:
+    """Reload results written by :func:`save_full_results`."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a list of results")
+    return [result_from_full_dict(entry) for entry in data]
 
 
 def save_results(path: "Path | str", results: Iterable[RunResult]) -> int:

@@ -8,21 +8,30 @@ for exploring the design space::
                  ring_channel_bytes=[16*1024, 64*1024, 256*1024])
 
 Exactly one keyword may be a list — the swept axis.  Each returned row
-is a flat dict (swept value + headline metrics) ready for tabulation or
-:func:`repro.core.export.save_results`-style persistence.
+is a flat, JSON-safe dict (swept value + headline metrics) ready for
+tabulation or :func:`repro.core.export.save_results`-style persistence;
+pass ``keep_results=True`` to additionally embed the full
+:class:`~repro.core.machine.RunResult` under ``"result"``.
+
+Sweep points are independent simulations, so they run through
+:func:`repro.core.batch.run_batch` — concurrently when ``jobs`` permits,
+and against the on-disk result cache when ``cache`` is enabled.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.core.batch import CacheArg, ExperimentSpec, run_batch
 from repro.core.machine import RunResult
 from repro.core.report import render_table
-from repro.core.runner import BEST_MIN_FREE, experiment_config, run_experiment
+from repro.core.runner import BEST_MIN_FREE, experiment_config
 
 
-def _row(swept: str, value: Any, res: RunResult) -> Dict[str, Any]:
-    return {
+def _row(
+    swept: str, value: Any, res: RunResult, keep_results: bool
+) -> Dict[str, Any]:
+    row = {
         swept: value,
         "system": res.system,
         "exec_mpcycles": res.exec_time / 1e6,
@@ -30,8 +39,10 @@ def _row(swept: str, value: Any, res: RunResult) -> Dict[str, Any]:
         "ring_hit_rate": res.ring_hit_rate,
         "combining": res.combining.mean,
         "nofree_fraction": res.breakdown_fractions()["nofree"],
-        "result": res,
     }
+    if keep_results:
+        row["result"] = res
+    return row
 
 
 def sweep(
@@ -40,12 +51,17 @@ def sweep(
     prefetch: str = "optimal",
     data_scale: float = 0.25,
     min_free: Optional[int] = None,
+    keep_results: bool = False,
+    jobs: Optional[int] = None,
+    cache: CacheArg = False,
     **axes: Any,
 ) -> List[Dict[str, Any]]:
     """Run ``app`` across one swept SimConfig parameter.
 
     Exactly one of ``axes`` must be a list/tuple of values; the rest are
-    fixed overrides applied to every point.
+    fixed overrides applied to every point.  ``jobs``/``cache`` are
+    forwarded to :func:`~repro.core.batch.run_batch` (caching is off by
+    default so library callers always observe the current model).
     """
     swept = [k for k, v in axes.items() if isinstance(v, (list, tuple))]
     if len(swept) != 1:
@@ -56,17 +72,24 @@ def sweep(
     values = axes.pop(key)
     if min_free is None:
         min_free = BEST_MIN_FREE[(system, prefetch)]
-    rows = []
-    for value in values:
-        cfg = experiment_config(
-            data_scale, min_free=min_free, **{key: value}, **axes
-        )
-        res = run_experiment(
-            app, system, prefetch, cfg=cfg, data_scale=data_scale,
+    specs = [
+        ExperimentSpec(
+            app,
+            system,
+            prefetch,
+            data_scale=data_scale,
             min_free=min_free,
+            cfg=experiment_config(
+                data_scale, min_free=min_free, **{key: value}, **axes
+            ),
         )
-        rows.append(_row(key, value, res))
-    return rows
+        for value in values
+    ]
+    results = run_batch(specs, jobs=jobs, cache=cache)
+    return [
+        _row(key, value, res, keep_results)
+        for value, res in zip(values, results)
+    ]
 
 
 def tabulate(rows: List[Dict[str, Any]], title: str = "sweep") -> str:

@@ -20,6 +20,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
 
 
+def _kick(
+    engine: "Engine",
+    callback: Any,
+    ok: bool,
+    value: Any,
+    defused: bool = False,
+) -> None:
+    """Schedule a pre-triggered one-callback event (the resume hot path).
+
+    Builds the event via ``__new__`` so the six slots are written exactly
+    once — process switching creates one of these per suspension, which
+    makes this constructor one of the kernel's hottest allocations.
+    """
+    kick = Event.__new__(Event)
+    kick.engine = engine
+    kick.callbacks = [callback]
+    kick._value = value
+    kick._ok = ok
+    kick._processed = False
+    kick._defused = defused
+    engine._schedule(kick)
+
+
 class Interrupt(Exception):
     """Thrown into a process's generator by :meth:`Process.interrupt`.
 
@@ -50,11 +73,7 @@ class Process(Event):
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume once at the current time.
-        kick = Event(engine)
-        kick.callbacks.append(self._resume)
-        kick._ok = True
-        kick._value = None
-        engine._schedule(kick)
+        _kick(engine, self._resume, True, None)
 
     # -- state ---------------------------------------------------------------
     @property
@@ -83,19 +102,15 @@ class Process(Event):
             except ValueError:  # pragma: no cover - already detached
                 pass
         self._target = None
-        kick = Event(self.engine)
-        kick.callbacks.append(self._resume)
-        kick._ok = False
-        kick._value = Interrupt(cause)
-        kick._defused = True  # the throw below consumes the failure
-        self.engine._schedule(kick)
+        # defused: the throw in _resume consumes the failure
+        _kick(self.engine, self._resume, False, Interrupt(cause), defused=True)
 
     # -- engine callback -------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome (engine callback)."""
         self._target = None
         try:
-            if event.ok:
+            if event._ok:
                 next_event = self._generator.send(event._value)
             else:
                 event._defused = True
@@ -115,15 +130,13 @@ class Process(Event):
                 f"{self.name} yielded {next_event!r}; processes may only "
                 "yield Event instances"
             )
-        if next_event.processed:
+        if next_event._processed:
             # Already fired: resume immediately (at the current time).
-            kick = Event(self.engine)
-            kick.callbacks.append(self._resume)
-            kick._ok = next_event.ok
-            kick._value = next_event._value
-            if not next_event.ok:
-                kick._defused = True
-            self.engine._schedule(kick)
+            ok = next_event._ok
+            _kick(
+                self.engine, self._resume, ok, next_event._value,
+                defused=not ok,
+            )
         else:
             self._target = next_event
             next_event.callbacks.append(self._resume)

@@ -52,6 +52,11 @@ class Resource:
     ...         log.append(eng.now)
     """
 
+    __slots__ = (
+        "engine", "capacity", "name", "_ticket", "users", "queue",
+        "_busy_integral", "_last_change",
+    )
+
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -121,6 +126,8 @@ class Store:
     blocks while the store is empty.
     """
 
+    __slots__ = ("engine", "capacity", "name", "items", "_getters", "_putters")
+
     def __init__(
         self,
         engine: "Engine",
@@ -183,6 +190,10 @@ class BandwidthPipe:
     overhead:
         Fixed occupancy added to every transfer, in time units.
     """
+
+    __slots__ = (
+        "engine", "rate", "overhead", "name", "_server", "bytes_transferred",
+    )
 
     def __init__(
         self,

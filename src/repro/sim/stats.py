@@ -19,6 +19,8 @@ class Counter:
     3
     """
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
@@ -39,6 +41,8 @@ class Counter:
 
 class Tally:
     """Streaming sample statistics: n, mean, variance, min, max, sum."""
+
+    __slots__ = ("n", "_mean", "_m2", "total", "min", "max")
 
     def __init__(self) -> None:
         self.n = 0
@@ -107,6 +111,8 @@ class TimeWeighted:
     the level over elapsed time.  Used for queue lengths and occupancy.
     """
 
+    __slots__ = ("_t_start", "_t_last", "_level", "_integral", "max_level")
+
     def __init__(self, t0: float = 0.0, level: float = 0.0) -> None:
         self._t_start = t0
         self._t_last = t0
@@ -141,6 +147,10 @@ class TimeWeighted:
 
 class Histogram:
     """Fixed-bin histogram over ``[lo, hi)`` with under/overflow bins."""
+
+    __slots__ = (
+        "lo", "hi", "nbins", "_width", "bins", "underflow", "overflow", "tally",
+    )
 
     def __init__(self, lo: float, hi: float, nbins: int) -> None:
         if hi <= lo:

@@ -38,12 +38,21 @@ def test_sweep_runs_each_point():
         system="nwcache",
         prefetch="optimal",
         data_scale=0.1,
+        keep_results=True,
         ring_channel_bytes=[2 * 4096, 8 * 4096],
     )
     assert len(rows) == 2
     assert rows[0]["ring_channel_bytes"] == 2 * 4096
     assert all(r["exec_mpcycles"] > 0 for r in rows)
     assert rows[0]["result"].cfg.ring_slots_per_channel == 2
+
+
+def test_sweep_rows_flat_and_json_safe_by_default():
+    import json
+
+    rows = sweep("sor", data_scale=0.1, ring_channel_bytes=[2 * 4096])
+    assert "result" not in rows[0]
+    json.dumps(rows)  # every default row value is a JSON primitive
 
 
 def test_sweep_more_ring_does_not_hurt():
