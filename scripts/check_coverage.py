@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Compare a Cobertura ``coverage.xml`` against the recorded baseline.
+
+Policy (see docs/testing.md):
+
+* at or above the baseline        -> pass silently;
+* below the baseline              -> emit a GitHub warning annotation,
+                                     exit 0 (non-blocking drift signal);
+* more than MAX_DROP points below -> exit 1 and fail the build.
+
+``--update`` rewrites the baseline file from the given report (round the
+measured rate down slightly so normal churn does not flip the warning).
+
+The script only parses XML; it does not need ``coverage`` installed.
+"""
+
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+MAX_DROP = 5.0  # percentage points below baseline that fail the build
+
+
+def read_line_rate(xml_path: Path) -> float:
+    """Return the overall line coverage percentage from a Cobertura file."""
+    root = ET.parse(xml_path).getroot()
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(f"{xml_path}: no line-rate attribute on <coverage>")
+    return float(rate) * 100.0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", type=Path, help="coverage.xml (Cobertura)")
+    ap.add_argument("--baseline", type=Path,
+                    default=Path("tests/coverage_baseline.json"))
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this report and exit")
+    args = ap.parse_args(argv)
+
+    measured = read_line_rate(args.report)
+
+    if args.update:
+        # leave half a point of headroom so day-to-day noise stays green
+        floor = max(0.0, round(measured - 0.5, 1))
+        args.baseline.write_text(json.dumps(
+            {"line_percent": floor,
+             "note": "floor for scripts/check_coverage.py; regenerate with "
+                     "--update on a fresh coverage.xml"},
+            indent=2) + "\n")
+        print(f"baseline updated: {floor:.1f}% (measured {measured:.2f}%)")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())["line_percent"]
+    delta = measured - baseline
+    print(f"coverage: {measured:.2f}% (baseline {baseline:.1f}%, "
+          f"{delta:+.2f} points)")
+
+    if delta < -MAX_DROP:
+        print(f"::error::coverage dropped {-delta:.2f} points below the "
+              f"baseline ({measured:.2f}% < {baseline:.1f}%); failing build")
+        return 1
+    if delta < 0:
+        print(f"::warning::coverage is {-delta:.2f} points below the "
+              f"recorded baseline ({measured:.2f}% < {baseline:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

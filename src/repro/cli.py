@@ -67,6 +67,12 @@ def _summary(res: RunResult) -> str:
             for k, v in res.breakdown.items()
         ),
     ]
+    if "audit_checks" in res.extras:
+        lines.append(
+            f"  audit          : {int(res.extras['audit_checks']):12d} "
+            f"invariant checks in {int(res.extras['audit_passes'])} passes, "
+            "all held"
+        )
     return "\n".join(lines)
 
 
@@ -88,7 +94,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.core.runner import BEST_MIN_FREE, experiment_config
 
         cfg = experiment_config(
-            args.scale, min_free=BEST_MIN_FREE[(args.system, args.prefetch)]
+            args.scale,
+            min_free=BEST_MIN_FREE[(args.system, args.prefetch)],
+            audit=args.audit,
         )
         machine = Machine(cfg, system=args.system, prefetch=args.prefetch)
         app = make_app(args.app, scale=linear_scale(args.app, args.scale))
@@ -98,7 +106,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(machine_report(machine, res.exec_time))
     else:
         res = run_experiment(
-            args.app, args.system, args.prefetch, data_scale=args.scale
+            args.app, args.system, args.prefetch, data_scale=args.scale,
+            audit=args.audit or None,
         )
         print(_summary(res))
     if args.json:
@@ -204,7 +213,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
     apps = args.apps or APP_NAMES
     systems = args.systems or ["standard", "nwcache"]
     prefetchers = args.prefetchers or [args.prefetch]
-    specs = grid_specs(apps, systems, prefetchers, data_scale=args.scale)
+    specs = grid_specs(apps, systems, prefetchers, data_scale=args.scale,
+                       audit=args.audit)
+    if args.audit and not args.no_cache:
+        # Audited results carry audit counters in extras; keep them out
+        # of the shared result cache.
+        print("audit mode: result cache disabled", file=sys.stderr)
+        args.no_cache = True
     cache = resolve_cache(_cache_arg(args))
     results = run_batch(
         specs, jobs=args.jobs,
@@ -263,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print per-component utilization")
     p.add_argument("--json", metavar="PATH",
                    help="write the result as JSON to PATH")
+    p.add_argument("--audit", action="store_true",
+                   help="run with the invariant auditor enabled")
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -306,6 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("optimal", "naive", "stream"))
     p.add_argument("--json", metavar="PATH",
                    help="write full-fidelity results as JSON to PATH")
+    p.add_argument("--audit", action="store_true",
+                   help="run every cell with the invariant auditor enabled")
     _add_common(p)
     _add_batch_opts(p)
     p.set_defaults(func=cmd_batch)

@@ -109,6 +109,10 @@ class SimConfig:
     seed: int = 1999                      #: master RNG seed
     mesh_shape: tuple = ()                #: (rows, cols); () = auto near-square
 
+    # ---------------------------------------------------------------- auditing
+    audit: bool = False                   #: run invariant checks during the sim
+    audit_every_events: int = 512         #: events between audit passes
+
     # -------------------------------------------------------------- derived
     @property
     def frames_per_node(self) -> int:
@@ -230,6 +234,10 @@ class SimConfig:
         if self.replacement_policy not in ("lru", "fifo", "clock"):
             raise ValueError(
                 f"unknown replacement policy {self.replacement_policy!r}"
+            )
+        if self.audit_every_events < 1:
+            raise ValueError(
+                f"audit_every_events must be >= 1, got {self.audit_every_events}"
             )
         self.mesh_dims  # trigger shape validation
 

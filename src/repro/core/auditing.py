@@ -1,0 +1,73 @@
+"""Assemble the full invariant suite for one :class:`~repro.core.machine.Machine`.
+
+Imported lazily by the machine only when ``cfg.audit`` is set, so the
+audit layer costs nothing — not even the imports — on ordinary runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.disk.audit import DiskCacheInvariant, DiskQueueInvariant
+from repro.hw.audit import TimeAccountInvariant
+from repro.optical.audit import (
+    ChannelOccupancyInvariant,
+    FifoConsistencyInvariant,
+    FifoOrderInvariant,
+    RingConservationInvariant,
+)
+from repro.osim.audit import FramePoolInvariant, PageStateInvariant
+from repro.sim.audit import Auditor, TallySanityInvariant
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.machine import Machine
+
+
+def build_auditor(machine: "Machine", install: bool = True) -> Auditor:
+    """Create (and by default install) the machine-wide invariant suite.
+
+    Covers every layer: engine clock, per-CPU time accounting, page-state
+    legality, frame conservation, disk-cache coherence, disk queueing,
+    and — on the NWCache machine — ring occupancy, ring/page-table
+    conservation, and interface FIFO consistency and drain order.
+    """
+    cfg = machine.cfg
+    aud = Auditor(machine.engine, every_events=cfg.audit_every_events)
+
+    tallies = {
+        "metrics.swapout": machine.metrics.swapout,
+        "metrics.swapout_wait": machine.metrics.swapout_wait,
+        "metrics.fault_latency": machine.metrics.fault_latency,
+        "metrics.disk_hit_latency": machine.metrics.disk_hit_latency,
+        "metrics.ring_hit_latency": machine.metrics.ring_hit_latency,
+    }
+    for pool in machine.pools:
+        tallies[f"{pool.name}.stall"] = pool.stall
+    for disk in machine.disks:
+        tallies[f"{disk.name}.service"] = disk.service
+        tallies[f"{disk.name}.response"] = disk.response
+    for ctrl in machine.controllers:
+        tallies[f"{ctrl.name}.combining"] = ctrl.combining
+    aud.register(TallySanityInvariant(tallies))
+
+    aud.register(TimeAccountInvariant(machine.cpus))
+    aud.register(PageStateInvariant(machine.vm))
+    aud.register(FramePoolInvariant(machine.vm))
+    aud.register(DiskCacheInvariant(machine.controllers))
+    aud.register(DiskQueueInvariant(machine.disks))
+    if machine.ring is not None:
+        aud.register(ChannelOccupancyInvariant(machine.ring))
+        aud.register(RingConservationInvariant(machine.ring, machine.vm.table))
+        aud.register(
+            FifoConsistencyInvariant(
+                machine.interfaces,
+                machine.ring,
+                machine.vm.table,
+                machine.swap.io_node_of,
+            )
+        )
+        aud.register(FifoOrderInvariant(machine.interfaces))
+
+    if install:
+        aud.install()
+    return aud

@@ -55,6 +55,7 @@ class ExperimentSpec:
     min_free: Optional[int] = None
     drain_policy: str = "most-loaded"
     cfg: Optional[SimConfig] = None
+    audit: bool = False
     app_params: Dict[str, Any] = field(default_factory=dict)
 
     def resolved_config(self) -> SimConfig:
@@ -63,12 +64,16 @@ class ExperimentSpec:
         if min_free is None:
             min_free = BEST_MIN_FREE[(self.system, self.prefetch)]
         if self.cfg is None:
-            return experiment_config(self.data_scale, min_free=min_free)
-        return self.cfg.replace(
-            min_free_frames=scaled_min_free(
-                min_free, self.data_scale, self.cfg.frames_per_node
+            cfg = experiment_config(self.data_scale, min_free=min_free)
+        else:
+            cfg = self.cfg.replace(
+                min_free_frames=scaled_min_free(
+                    min_free, self.data_scale, self.cfg.frames_per_node
+                )
             )
-        )
+        if self.audit and not cfg.audit:
+            cfg = cfg.replace(audit=True)
+        return cfg
 
     def key(self) -> str:
         """Content hash of every input that determines this cell's result."""
@@ -97,6 +102,7 @@ class ExperimentSpec:
             min_free=self.min_free,
             cfg=self.cfg,
             drain_policy=self.drain_policy,
+            audit=self.audit or None,
             **self.app_params,
         )
 

@@ -36,7 +36,9 @@ from repro.config import SimConfig
 from repro.core.machine import RunResult
 
 #: Bump when a simulator change alters results for identical inputs.
-CACHE_FORMAT_VERSION = 1
+#: v2: audit fields on SimConfig; order-stable canonicalization of
+#: mixed-key dicts and sets (repr of a set depends on PYTHONHASHSEED).
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -49,10 +51,26 @@ def default_cache_dir() -> Path:
     return base / "nwcache"
 
 
+def _sort_token(obj: Any) -> str:
+    """Total order over canonical values (already JSON-encodable)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
 def _canonical(obj: Any) -> Any:
-    """Reduce ``obj`` to deterministic JSON-encodable primitives."""
+    """Reduce ``obj`` to deterministic JSON-encodable primitives.
+
+    Key-order of dicts and element-order of sets must not leak into the
+    digest: equal containers hash equal regardless of insertion order or
+    ``PYTHONHASHSEED``.  Dicts are encoded as sorted ``[key, value]``
+    pair lists (plain ``sorted(obj.items())`` raises on mixed-type keys,
+    and coercing keys to ``str`` would collide ``1`` with ``"1"``).
+    """
     if isinstance(obj, dict):
-        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: _sort_token(kv[0]))
+        return {"__dict__": items}
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted((_canonical(v) for v in obj), key=_sort_token)}
     if isinstance(obj, (list, tuple)):
         return [_canonical(v) for v in obj]
     if isinstance(obj, (str, int, bool)) or obj is None:

@@ -176,6 +176,13 @@ class Machine:
             for n in range(cfg.n_nodes)
         ]
         self.vm.install_cpus(self.cpus)
+
+        # -- invariant auditing (imported only when enabled)
+        self.auditor = None
+        if cfg.audit:
+            from repro.core.auditing import build_auditor
+
+            self.auditor = build_auditor(self)
         self.nodes = [
             Node(
                 index=n,
@@ -228,6 +235,8 @@ class Machine:
                 )
             )
         self.vm.check_invariants()
+        if self.auditor is not None:
+            self.auditor.check_all()
         return self._collect(app)
 
     def _collect(self, app: Workload) -> RunResult:
@@ -255,6 +264,9 @@ class Machine:
             "ring_stored_peak": float(self.ring.total_stored) if self.ring else 0.0,
             "tlb_hit_rate": sum(t.hit_rate for t in self.tlbs) / ncpu,
         }
+        if self.auditor is not None:
+            extras["audit_passes"] = float(self.auditor.passes)
+            extras["audit_checks"] = float(self.auditor.checks)
         return RunResult(
             app=app.name,
             system=self.system,

@@ -17,6 +17,7 @@ Handles the two knobs the paper fixes per configuration:
 from __future__ import annotations
 
 import math
+import os
 from typing import Any, Dict, Optional, Tuple
 
 from repro.apps import make_app
@@ -86,6 +87,11 @@ def experiment_config(
     return SimConfig(**params)
 
 
+def _audit_default() -> bool:
+    """Audit experiments when ``NWCACHE_AUDIT`` is set (CI audit mode)."""
+    return os.environ.get("NWCACHE_AUDIT", "").lower() not in ("", "0", "false", "no")
+
+
 def run_experiment(
     app: str | Workload,
     system: str = SYSTEM_STANDARD,
@@ -94,6 +100,7 @@ def run_experiment(
     min_free: Optional[int] = None,
     cfg: Optional[SimConfig] = None,
     drain_policy: str = "most-loaded",
+    audit: Optional[bool] = None,
     **app_params: Any,
 ) -> RunResult:
     """Run one (application, system, prefetch) experiment.
@@ -114,7 +121,13 @@ def run_experiment(
         value for this (system, prefetch) pair.
     cfg:
         Fully explicit machine configuration (overrides ``data_scale``).
+    audit:
+        Run the machine with the invariant auditor installed
+        (:mod:`repro.core.auditing`).  ``None`` defers to ``cfg.audit``
+        or the ``NWCACHE_AUDIT`` environment variable.
     """
+    if audit is None:
+        audit = _audit_default()
     if min_free is None:
         min_free = BEST_MIN_FREE[(system, prefetch)]
     if cfg is None:
@@ -127,6 +140,8 @@ def run_experiment(
                 min_free, data_scale, cfg.frames_per_node
             )
         )
+    if audit and not cfg.audit:
+        cfg = cfg.replace(audit=True)
     if isinstance(app, Workload):
         workload = app
     else:

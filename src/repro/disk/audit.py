@@ -1,0 +1,137 @@
+"""Invariants over the disk subsystem: controller caches and mechanisms.
+
+The controller cache protocol (PAPER.md Section 3.1) and the disk
+mechanism queueing reduce to checkable laws: a cache never holds more
+than ``disk_cache_pages`` slots and its slot bookkeeping stays coherent;
+a disk's operation/page counters only grow, every completed operation is
+recorded exactly once in both the service and the response tallies, and
+the mechanism's FIFO never leaves requests queued while the server idles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.sim.audit import Invariant
+
+
+class DiskCacheInvariant(Invariant):
+    """Controller-cache structural coherence (capacity, slots, waiters)."""
+
+    name = "disk-cache"
+
+    def __init__(self, controllers: List[Any]) -> None:
+        self.controllers = controllers
+
+    def check(self, now: float) -> None:
+        for ctrl in self.controllers:
+            if len(ctrl._slots) > ctrl.capacity:
+                self.fail(
+                    f"{ctrl.name}: {len(ctrl._slots)} slots used, capacity "
+                    f"{ctrl.capacity}",
+                    now,
+                )
+            dirty_orders: Dict[int, int] = {}
+            for page, slot in ctrl._slots.items():
+                if slot.page != page:
+                    self.fail(
+                        f"{ctrl.name}: slot keyed {page} holds page "
+                        f"{slot.page}",
+                        now,
+                    )
+                if slot.dirty:
+                    if slot.order < 0:
+                        self.fail(
+                            f"{ctrl.name}: dirty page {page} has no arrival "
+                            f"order ({slot.order})",
+                            now,
+                        )
+                    if slot.order in dirty_orders:
+                        self.fail(
+                            f"{ctrl.name}: pages {dirty_orders[slot.order]} "
+                            f"and {page} share dirty order {slot.order}",
+                            now,
+                        )
+                    dirty_orders[slot.order] = page
+            for ev in ctrl._write_waiters:
+                if ev.triggered:
+                    self.fail(
+                        f"{ctrl.name}: triggered event still in the NACK "
+                        "FIFO",
+                        now,
+                    )
+            for page, ev in ctrl._inflight_prefetch.items():
+                if ev.triggered:
+                    self.fail(
+                        f"{ctrl.name}: page {page} marked in-flight under a "
+                        "completed prefetch",
+                        now,
+                    )
+
+
+class DiskQueueInvariant(Invariant):
+    """Disk counters and the mechanism queue stay conserved.
+
+    Stateful: operation and page counters are monotonic between audit
+    passes, each completed op records exactly one service and one
+    response sample (``service.n == response.n == n_ops``), response
+    time dominates service time in aggregate, and the single-server arm
+    never idles while requests queue.
+    """
+
+    name = "disk-queue"
+
+    def __init__(self, disks: List[Any]) -> None:
+        self.disks = disks
+        self._last: Dict[str, tuple] = {
+            d.name: (d.n_ops, d.pages_moved) for d in disks
+        }
+
+    def check(self, now: float) -> None:
+        for d in self.disks:
+            last_ops, last_pages = self._last[d.name]
+            if d.n_ops < last_ops:
+                self.fail(f"{d.name}: n_ops shrank {last_ops} -> {d.n_ops}", now)
+            if d.pages_moved < last_pages:
+                self.fail(
+                    f"{d.name}: pages_moved shrank {last_pages} -> "
+                    f"{d.pages_moved}",
+                    now,
+                )
+            self._last[d.name] = (d.n_ops, d.pages_moved)
+            if d.pages_moved < d.n_ops:
+                self.fail(
+                    f"{d.name}: {d.pages_moved} pages over {d.n_ops} ops "
+                    "(ops move >= 1 page each)",
+                    now,
+                )
+            if d.service.n != d.n_ops or d.response.n != d.n_ops:
+                self.fail(
+                    f"{d.name}: {d.n_ops} ops but {d.service.n} service / "
+                    f"{d.response.n} response samples",
+                    now,
+                )
+            if d.response.total < d.service.total - 1e-6:
+                self.fail(
+                    f"{d.name}: total response {d.response.total} < total "
+                    f"service {d.service.total}",
+                    now,
+                )
+            if not (0 <= d.current_cylinder < d.cfg.disk_cylinders):
+                self.fail(
+                    f"{d.name}: arm at bogus cylinder {d.current_cylinder}",
+                    now,
+                )
+            arm = d.mechanism
+            if len(arm.users) > arm.capacity:
+                self.fail(
+                    f"{d.name}: {len(arm.users)} holders on a capacity-"
+                    f"{arm.capacity} mechanism",
+                    now,
+                )
+            if arm.queue and len(arm.users) < arm.capacity:
+                self.fail(
+                    f"{d.name}: {len(arm.queue)} requests queued while the "
+                    "arm idles",
+                    now,
+                )

@@ -1,0 +1,67 @@
+"""Invariants over the hardware layer: per-CPU time accounting.
+
+The accounting contract (see :mod:`repro.hw.accounting`): every category
+is non-negative, charged time never exceeds the processor's elapsed
+wall-clock (charges materialize lazily, so mid-run the account may lag
+behind but never lead), and once a CPU finishes, the categories sum
+exactly to its execution span — the paper's Figures 3/4 stacked bars.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.hw.accounting import CATEGORIES
+from repro.sim.audit import Invariant
+
+#: relative slack for floating-point accumulation error
+_REL_EPS = 1e-9
+#: absolute slack, pcycles
+_ABS_EPS = 1e-3
+
+
+class TimeAccountInvariant(Invariant):
+    """Per-CPU accounting legality and the breakdown-sums-to-total law."""
+
+    name = "time-accounting"
+
+    def __init__(self, cpus: List[Any]) -> None:
+        self.cpus = cpus
+
+    def check(self, now: float) -> None:
+        for cpu in self.cpus:
+            acct = cpu.acct
+            for cat in CATEGORIES:
+                if acct.times[cat] < 0:
+                    self.fail(
+                        f"cpu{cpu.node}: negative {cat!r} time "
+                        f"{acct.times[cat]}",
+                        now,
+                    )
+            for cat, v in cpu._pending.items():
+                if v < 0:
+                    self.fail(f"cpu{cpu.node}: negative pending {cat!r} {v}", now)
+            for cat, v in cpu._stolen.items():
+                if v < 0:
+                    self.fail(f"cpu{cpu.node}: negative stolen {cat!r} {v}", now)
+            if cpu.started_at is None:
+                continue
+            total = acct.total()
+            if cpu.finished_at is not None:
+                span = cpu.finished_at - cpu.started_at
+                slack = _ABS_EPS + _REL_EPS * max(abs(span), 1.0)
+                if abs(total - span) > slack:
+                    self.fail(
+                        f"cpu{cpu.node}: breakdown sum {total} != "
+                        f"execution span {span}",
+                        now,
+                    )
+            else:
+                elapsed = now - cpu.started_at
+                slack = _ABS_EPS + _REL_EPS * max(abs(elapsed), 1.0)
+                if total > elapsed + slack:
+                    self.fail(
+                        f"cpu{cpu.node}: charged {total} pcycles but only "
+                        f"{elapsed} elapsed",
+                        now,
+                    )

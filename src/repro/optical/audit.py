@@ -1,0 +1,223 @@
+"""Invariants over the optical ring and the NWC interfaces.
+
+The delay-line physics and the drain protocol of PAPER.md Sections 2/3.2
+reduce to conservation laws:
+
+* a channel never stores (or reserves) more pages than its delay line
+  holds, and every stored page has a legal circulation phase;
+* a swapped-out page circulates on exactly one channel until it is
+  drained (ACK) or reclaimed (victim read) — never lost, never duplicated;
+* the per-channel swap-out FIFOs at the I/O interfaces only reference
+  pages actually on the ring, reference each at most once machine-wide,
+  and are consumed strictly in swap-out (FIFO) order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.optical.ring import OpticalRing
+from repro.osim.pagetable import PageState, PageTable
+from repro.sim.audit import Invariant
+
+
+class ChannelOccupancyInvariant(Invariant):
+    """Occupancy (stored + reserved slots) never exceeds channel capacity."""
+
+    name = "ring-occupancy"
+
+    def __init__(self, ring: OpticalRing) -> None:
+        self.ring = ring
+
+    def check(self, now: float) -> None:
+        for ch in self.ring.channels:
+            if ch._reserved < 0:
+                self.fail(
+                    f"channel {ch.index}: negative reservations "
+                    f"{ch._reserved}",
+                    now,
+                )
+            if ch.n_stored > ch.capacity:
+                self.fail(
+                    f"channel {ch.index}: {ch.n_stored} pages stored, "
+                    f"capacity {ch.capacity}",
+                    now,
+                )
+            if ch.n_stored + ch._reserved > ch.capacity:
+                self.fail(
+                    f"channel {ch.index}: {ch.n_stored} stored + "
+                    f"{ch._reserved} reserved exceeds capacity {ch.capacity}",
+                    now,
+                )
+            if ch._slot_waiters and ch.has_room():
+                self.fail(
+                    f"channel {ch.index}: swap-outs waiting while slots "
+                    "are free",
+                    now,
+                )
+            rt = ch.round_trip
+            for page, phase in ch._pages.items():
+                if not (0.0 <= phase < rt):
+                    self.fail(
+                        f"channel {ch.index}: page {page} has phase {phase} "
+                        f"outside [0, {rt})",
+                        now,
+                    )
+
+
+class RingConservationInvariant(Invariant):
+    """No lost or duplicated pages between the ring and the page table.
+
+    Every stored page appears on exactly one channel and its page-table
+    entry points back at that channel (state RING, or INFLIGHT while a
+    victim read is streaming it off); conversely every RING entry's page
+    is actually circulating on its recorded channel.
+    """
+
+    name = "ring-conservation"
+
+    def __init__(self, ring: OpticalRing, table: PageTable) -> None:
+        self.ring = ring
+        self.table = table
+
+    def check(self, now: float) -> None:
+        stored: Dict[int, int] = {}  # page -> channel index
+        for ch in self.ring.channels:
+            for page in ch.pages():
+                if page in stored:
+                    self.fail(
+                        f"page {page} duplicated on channels {stored[page]} "
+                        f"and {ch.index}",
+                        now,
+                    )
+                stored[page] = ch.index
+        for page, ch_index in stored.items():
+            if page not in self.table:
+                self.fail(f"channel {ch_index} stores unknown page {page}", now)
+                continue
+            entry = self.table[page]
+            if entry.state not in (PageState.RING, PageState.INFLIGHT):
+                self.fail(
+                    f"page {page} circulates on channel {ch_index} but is "
+                    f"{entry.state.value} in the page table",
+                    now,
+                )
+            if entry.ring_channel != ch_index:
+                self.fail(
+                    f"page {page} is on channel {ch_index} but the entry "
+                    f"records channel {entry.ring_channel}",
+                    now,
+                )
+        for entry in self.table.entries():
+            if entry.state is PageState.RING and entry.page not in stored:
+                self.fail(
+                    f"page {entry.page} has the Ring bit set but is on no "
+                    "channel (lost page)",
+                    now,
+                )
+
+
+class FifoConsistencyInvariant(Invariant):
+    """Interface swap-out FIFOs reference real ring pages, exactly once.
+
+    ``io_node_of`` maps a page to the node hosting its disk, so the
+    invariant also catches mis-routed control messages.
+    """
+
+    name = "fifo-consistency"
+
+    def __init__(
+        self,
+        interfaces: Dict[int, Any],
+        ring: OpticalRing,
+        table: PageTable,
+        io_node_of: Callable[[int], int],
+    ) -> None:
+        self.interfaces = interfaces
+        self.ring = ring
+        self.table = table
+        self.io_node_of = io_node_of
+
+    def check(self, now: float) -> None:
+        seen: Dict[int, Tuple[int, int]] = {}  # page -> (iface node, channel)
+        for node, iface in self.interfaces.items():
+            for ch_index, fifo in iface._fifos.items():
+                for page, swapper, _seq in fifo:
+                    if page in seen:
+                        self.fail(
+                            f"page {page} queued twice: at node "
+                            f"{seen[page][0]} channel {seen[page][1]} and at "
+                            f"node {node} channel {ch_index}",
+                            now,
+                        )
+                    seen[page] = (node, ch_index)
+                    if not self.ring.channels[ch_index].contains(page):
+                        self.fail(
+                            f"node {node} queues page {page} for channel "
+                            f"{ch_index} but the page is not circulating "
+                            "there",
+                            now,
+                        )
+                    if page not in self.table:
+                        self.fail(f"queued page {page} is unregistered", now)
+                        continue
+                    entry = self.table[page]
+                    if entry.state is not PageState.RING:
+                        self.fail(
+                            f"queued page {page} is {entry.state.value}, "
+                            "not RING",
+                            now,
+                        )
+                    if entry.last_swapper != swapper:
+                        self.fail(
+                            f"queued page {page}: FIFO says swapper "
+                            f"{swapper}, entry says {entry.last_swapper}",
+                            now,
+                        )
+                    if self.io_node_of(page) != node:
+                        self.fail(
+                            f"page {page} queued at node {node} but its "
+                            f"disk is hosted by node {self.io_node_of(page)}",
+                            now,
+                        )
+
+
+class FifoOrderInvariant(Invariant):
+    """Swap-out FIFOs are consumed in order (FIFO drain discipline).
+
+    Every enqueue stamps the entry with the interface's monotonically
+    increasing sequence counter, and the protocol only ever appends on
+    the right (new notifications), pops on the left (drain), or deletes
+    from the middle (victim-read claims) — none of which can break the
+    ordering.  So at any instant the stamps in each FIFO must be
+    strictly increasing and below the interface's counter; anything
+    else means entries were reordered or fabricated.  (Matching entries
+    by ``(page, swapper)`` value instead would be unsound: a victim-read
+    claim followed by a re-swap-out legally re-enqueues the same pair at
+    the tail.)
+    """
+
+    name = "fifo-order"
+
+    def __init__(self, interfaces: Dict[int, Any]) -> None:
+        self.interfaces = interfaces
+
+    def check(self, now: float) -> None:
+        for node, iface in self.interfaces.items():
+            for ch_index, fifo in iface._fifos.items():
+                last = -1
+                for _page, _swapper, seq in fifo:
+                    if seq <= last:
+                        self.fail(
+                            f"node {node} channel {ch_index}: surviving "
+                            f"swap-outs reordered (stamp {seq} after {last})",
+                            now,
+                        )
+                    if seq >= iface._fifo_seq:
+                        self.fail(
+                            f"node {node} channel {ch_index}: entry stamp "
+                            f"{seq} was never issued (counter at "
+                            f"{iface._fifo_seq})",
+                            now,
+                        )
+                    last = seq

@@ -57,7 +57,8 @@ class NWCacheInterface:
         self.stats = Counter()
         #: set by the VM layer before the simulation starts
         self.ack_callback: Optional[AckCallback] = None
-        self._fifos: Dict[int, Deque[Tuple[int, int]]] = {}
+        self._fifos: Dict[int, Deque[Tuple[int, int, int]]] = {}
+        self._fifo_seq = 0  # enqueue order stamp; see notify_swapout
         self._wake: Optional[Event] = None
         self._rr_next = 0
         if controller is not None:
@@ -70,7 +71,13 @@ class NWCacheInterface:
         carrying the swapping-node and page numbers, Section 3.2)."""
         if self.controller is None:
             raise RuntimeError(f"node {self.node} has no disk; bad routing")
-        self._fifos.setdefault(channel, deque()).append((page, swapper))
+        # The sequence stamp distinguishes a re-swapout of a claimed page
+        # from the original queue entry, so FIFO discipline stays
+        # checkable even though (page, swapper) pairs can recur.
+        self._fifos.setdefault(channel, deque()).append(
+            (page, swapper, self._fifo_seq)
+        )
+        self._fifo_seq += 1
         self.stats.add("notifications")
         self._kick()
 
@@ -84,7 +91,7 @@ class NWCacheInterface:
         fifo = self._fifos.get(channel)
         if not fifo:
             return False
-        for i, (p, _swapper) in enumerate(fifo):
+        for i, (p, _swapper, _seq) in enumerate(fifo):
             if p == page:
                 del fifo[i]
                 self.stats.add("claims")
@@ -129,7 +136,7 @@ class NWCacheInterface:
             # "copies as many pages as possible": stay on this channel
             # until its swap-outs are exhausted or the cache fills.
             while fifo and self.controller.has_room_for_write():
-                page, swapper = fifo.popleft()
+                page, swapper, _seq = fifo.popleft()
                 channel = self.ring.channels[ch]
                 yield self.engine.timeout(channel.read_delay(page))
                 self.controller.place_dirty(page)

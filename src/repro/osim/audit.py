@@ -1,0 +1,154 @@
+"""Invariants over the OS layer: page-state legality and frame conservation.
+
+These encode the coherence contract of PAPER.md Section 3.2 — exactly one
+live copy of a page beyond the disk controller (main memory XOR the
+optical ring) — as checkable conservation laws over the page table, the
+per-node replacement policies, and the frame pools.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.osim.pagetable import PageState
+from repro.sim.audit import Invariant
+
+
+class PageStateInvariant(Invariant):
+    """Every page-table entry's fields must be legal for its state, and
+    residency tracking must agree with the table in both directions."""
+
+    name = "page-state"
+
+    def __init__(self, vm: Any) -> None:
+        self.vm = vm
+
+    def check(self, now: float) -> None:
+        vm = self.vm
+        n_nodes = vm.cfg.n_nodes
+        resident_sets = [set(res.pages()) for res in vm.resident]
+        seen_memory = 0
+        for entry in vm.table.entries():
+            p, state = entry.page, entry.state
+            if state is PageState.MEMORY:
+                seen_memory += 1
+                if entry.node is None or not (0 <= entry.node < n_nodes):
+                    self.fail(f"page {p}: MEMORY with node {entry.node}", now)
+                if entry.frame is None:
+                    self.fail(f"page {p}: MEMORY without a frame", now)
+                if entry.ring_channel is not None:
+                    self.fail(
+                        f"page {p}: MEMORY with ring channel "
+                        f"{entry.ring_channel} still set",
+                        now,
+                    )
+                if p not in resident_sets[entry.node]:
+                    self.fail(
+                        f"page {p}: MEMORY on node {entry.node} but not "
+                        "tracked by its replacement policy",
+                        now,
+                    )
+            elif state is PageState.INFLIGHT:
+                if entry.node is None or not (0 <= entry.node < n_nodes):
+                    self.fail(f"page {p}: INFLIGHT with node {entry.node}", now)
+            elif state is PageState.SWAPPING:
+                if entry.node is None or entry.frame is None:
+                    self.fail(
+                        f"page {p}: SWAPPING without node/frame "
+                        f"({entry.node}/{entry.frame})",
+                        now,
+                    )
+            elif state is PageState.RING:
+                if entry.ring_channel is None:
+                    self.fail(f"page {p}: RING without a channel", now)
+                if entry.node is not None or entry.frame is not None:
+                    self.fail(
+                        f"page {p}: RING still mapped "
+                        f"(node={entry.node}, frame={entry.frame})",
+                        now,
+                    )
+            elif state is PageState.ABSENT:
+                if (
+                    entry.node is not None
+                    or entry.frame is not None
+                    or entry.ring_channel is not None
+                ):
+                    self.fail(f"page {p}: ABSENT with residue {entry!r}", now)
+                if entry.dirty:
+                    self.fail(f"page {p}: ABSENT but dirty", now)
+        total_resident = 0
+        for node, pages in enumerate(resident_sets):
+            total_resident += len(pages)
+            for p in pages:
+                entry = vm.table[p]
+                if entry.state is not PageState.MEMORY or entry.node != node:
+                    self.fail(
+                        f"node {node} replacement policy tracks page {p} "
+                        f"which is {entry.state.value} on node {entry.node}",
+                        now,
+                    )
+        if total_resident != seen_memory:
+            self.fail(
+                f"{seen_memory} MEMORY pages vs {total_resident} tracked "
+                "resident pages",
+                now,
+            )
+
+
+class FramePoolInvariant(Invariant):
+    """Per-node physical frames are conserved: the free list and the
+    mapped frames are disjoint, within range, and never over-committed."""
+
+    name = "frame-conservation"
+
+    def __init__(self, vm: Any) -> None:
+        self.vm = vm
+
+    def check(self, now: float) -> None:
+        vm = self.vm
+        mapped: dict = {}  # node -> {frame: page}
+        for entry in vm.table.entries():
+            if entry.state in (PageState.MEMORY, PageState.SWAPPING):
+                node_frames = mapped.setdefault(entry.node, {})
+                if entry.frame in node_frames:
+                    self.fail(
+                        f"node {entry.node} frame {entry.frame} mapped by "
+                        f"both page {node_frames[entry.frame]} and page "
+                        f"{entry.page}",
+                        now,
+                    )
+                node_frames[entry.frame] = entry.page
+        for node, pool in enumerate(vm.pools):
+            free = pool.snapshot()
+            if len(set(free)) != len(free):
+                self.fail(f"{pool.name}: duplicate frames in free list", now)
+            for f in free:
+                if not (0 <= f < pool.n_frames):
+                    self.fail(f"{pool.name}: bogus free frame {f}", now)
+            node_frames = mapped.get(node, {})
+            for f in node_frames:
+                if not (0 <= f < pool.n_frames):
+                    self.fail(
+                        f"{pool.name}: page {node_frames[f]} mapped to bogus "
+                        f"frame {f}",
+                        now,
+                    )
+            overlap = set(free) & set(node_frames)
+            if overlap:
+                self.fail(
+                    f"{pool.name}: frames {sorted(overlap)} are both free "
+                    "and mapped",
+                    now,
+                )
+            if len(free) + len(node_frames) > pool.n_frames:
+                self.fail(
+                    f"{pool.name}: {len(free)} free + {len(node_frames)} "
+                    f"mapped exceeds {pool.n_frames} frames",
+                    now,
+                )
+            if pool.n_waiting and pool.n_free:
+                self.fail(
+                    f"{pool.name}: {pool.n_waiting} waiters while "
+                    f"{pool.n_free} frames are free",
+                    now,
+                )

@@ -1,0 +1,219 @@
+"""Runtime invariant auditing for the simulation kernel.
+
+An :class:`Auditor` holds a set of registered :class:`Invariant` checkers
+and runs them all between simulated events, via the engine's tick hook
+(:meth:`~repro.sim.engine.Engine.set_tick_hook`).  Because the hook fires
+*between* events — after every callback of the current event has run —
+each pass observes a consistent model state and cannot perturb event
+ordering or timing: an audited run produces bit-identical results to an
+unaudited one (asserted in ``tests/audit``).
+
+When auditing is disabled nothing is installed at all, so the engine
+keeps its inlined zero-overhead drain loops.
+
+Concrete invariants for the NWCache machine live next to the subsystems
+they check (``repro.optical.audit``, ``repro.osim.audit``,
+``repro.disk.audit``, ``repro.hw.audit``) and are assembled by
+:func:`repro.core.auditing.build_auditor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Tally
+
+
+class InvariantViolation(AssertionError):
+    """A registered invariant found the model in an illegal state."""
+
+    def __init__(
+        self, invariant: str, message: str, time: Optional[float] = None
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.time = time
+        at = "" if time is None else f" at t={time:g}"
+        super().__init__(f"invariant '{invariant}' violated{at}: {message}")
+
+
+class Invariant:
+    """One registerable conservation-law checker.
+
+    Subclasses set :attr:`name` and implement :meth:`check`, calling
+    :meth:`fail` when the model state is illegal.  Invariants may keep
+    state between passes (e.g. previous snapshots for monotonicity and
+    order checks) but must never *mutate* model state.
+    """
+
+    name: str = "invariant"
+
+    def check(self, now: float) -> None:
+        """Inspect the model; raise via :meth:`fail` on a violation."""
+        raise NotImplementedError
+
+    def fail(self, message: str, now: Optional[float] = None) -> None:
+        """Report a violation of this invariant."""
+        raise InvariantViolation(self.name, message, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class MonotonicTimeInvariant(Invariant):
+    """Simulated time must never move backwards."""
+
+    name = "time-monotonic"
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._last_now = engine.now
+        self._last_events = engine.events_processed
+
+    def check(self, now: float) -> None:
+        eng_now = self.engine.now
+        if eng_now < self._last_now:
+            self.fail(
+                f"clock moved backwards: {eng_now} < {self._last_now}", eng_now
+            )
+        if self.engine.events_processed < self._last_events:
+            self.fail(
+                f"events_processed decreased: {self.engine.events_processed} "
+                f"< {self._last_events}",
+                eng_now,
+            )
+        self._last_now = eng_now
+        self._last_events = self.engine.events_processed
+
+
+class TallySanityInvariant(Invariant):
+    """Statistics accumulators must stay internally consistent.
+
+    Checks every named :class:`~repro.sim.stats.Tally`: counts never
+    shrink, min/max bracket sanely, and Welford's second moment stays
+    non-negative.
+    """
+
+    name = "tally-sanity"
+
+    def __init__(self, tallies: Dict[str, Tally]) -> None:
+        self.tallies = dict(tallies)
+        self._last_n: Dict[str, int] = {k: t.n for k, t in self.tallies.items()}
+
+    def check(self, now: float) -> None:
+        for label, t in self.tallies.items():
+            if t.n < 0:
+                self.fail(f"{label}: negative count {t.n}", now)
+            if t.n < self._last_n[label]:
+                self.fail(
+                    f"{label}: count shrank {self._last_n[label]} -> {t.n}", now
+                )
+            self._last_n[label] = t.n
+            if (t.min is None) != (t.n == 0) or (t.max is None) != (t.n == 0):
+                self.fail(f"{label}: min/max set iff non-empty broken", now)
+            if t.min is not None and t.max is not None and t.min > t.max:
+                self.fail(f"{label}: min {t.min} > max {t.max}", now)
+            if t._m2 < -1e-9:
+                self.fail(f"{label}: negative second moment {t._m2}", now)
+
+
+#: signature of a violation observer (collect mode)
+ViolationHandler = Callable[[InvariantViolation], None]
+
+
+class Auditor:
+    """Runs registered invariants between simulated events.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose tick loop the auditor hooks into.
+    every_events:
+        Events between audit passes (1 = audit after every event).
+    raise_on_violation:
+        When True (default) the first violation propagates out of
+        ``engine.run`` / ``machine.run``; when False violations are
+        collected in :attr:`violations` and the run continues.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        every_events: int = 512,
+        raise_on_violation: bool = True,
+    ) -> None:
+        if every_events < 1:
+            raise ValueError(f"every_events must be >= 1, got {every_events}")
+        self.engine = engine
+        self.every_events = int(every_events)
+        self.raise_on_violation = raise_on_violation
+        self.invariants: List[Invariant] = []
+        self.violations: List[InvariantViolation] = []
+        #: audit passes completed (each pass runs every invariant)
+        self.passes = 0
+        #: individual invariant checks executed
+        self.checks = 0
+        self._installed = False
+        self.register(MonotonicTimeInvariant(engine))
+
+    # -- registration --------------------------------------------------------
+    def register(self, invariant: Invariant) -> Invariant:
+        """Add an invariant; returns it (for chaining in tests)."""
+        if any(inv.name == invariant.name for inv in self.invariants):
+            raise ValueError(f"duplicate invariant name {invariant.name!r}")
+        self.invariants.append(invariant)
+        return invariant
+
+    def names(self) -> List[str]:
+        """Registered invariant names, in registration order."""
+        return [inv.name for inv in self.invariants]
+
+    # -- engine hookup --------------------------------------------------------
+    def install(self) -> None:
+        """Hook this auditor into the engine's tick loop."""
+        self.engine.set_tick_hook(self._tick, every=self.every_events)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove the engine hook (the fast drain loops return)."""
+        if self._installed:
+            self.engine.set_tick_hook(None)
+            self._installed = False
+
+    def _tick(self) -> None:
+        self.check_all()
+
+    # -- checking --------------------------------------------------------------
+    def check_all(self) -> int:
+        """Run every registered invariant once; returns checks executed."""
+        now = self.engine.now
+        ran = 0
+        for inv in self.invariants:
+            try:
+                inv.check(now)
+            except InvariantViolation as exc:
+                self.violations.append(exc)
+                if self.raise_on_violation:
+                    self.checks += ran
+                    self.passes += 1
+                    raise
+            ran += 1
+        self.checks += ran
+        self.passes += 1
+        return ran
+
+    def summary(self) -> Dict[str, int]:
+        """Counters for reports: passes, checks, violations, invariants."""
+        return {
+            "passes": self.passes,
+            "checks": self.checks,
+            "violations": len(self.violations),
+            "invariants": len(self.invariants),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Auditor({len(self.invariants)} invariants, "
+            f"passes={self.passes}, violations={len(self.violations)})"
+        )

@@ -48,7 +48,10 @@ class Engine:
     10.0
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "events_processed")
+    __slots__ = (
+        "_now", "_queue", "_eid", "events_processed",
+        "_tick_hook", "_tick_every", "_tick_left",
+    )
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
@@ -56,6 +59,29 @@ class Engine:
         self._eid = count()
         #: number of events processed so far (useful for perf reporting)
         self.events_processed = 0
+        # Optional per-event hook (auditing). None keeps run() on the
+        # inlined fast drain loops, so the disabled case costs nothing.
+        self._tick_hook: Optional[Any] = None
+        self._tick_every = 1
+        self._tick_left = 1
+
+    # -- tick hook -----------------------------------------------------------
+    def set_tick_hook(self, hook: Optional[Any], every: int = 1) -> None:
+        """Call ``hook()`` after every ``every``-th processed event.
+
+        The hook runs *between* events (after all callbacks of the current
+        event), so it observes a consistent model state and cannot perturb
+        event ordering.  Pass ``hook=None`` to remove the hook and restore
+        the zero-overhead drain loops.
+        """
+        if hook is None:
+            self._tick_hook = None
+            return
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._tick_hook = hook
+        self._tick_every = int(every)
+        self._tick_left = int(every)
 
     # -- clock -------------------------------------------------------------
     @property
@@ -114,6 +140,11 @@ class Engine:
         # lost error — surface it loudly instead.
         if not event._ok and not event._defused:
             raise event.value
+        if self._tick_hook is not None:
+            self._tick_left -= 1
+            if self._tick_left <= 0:
+                self._tick_left = self._tick_every
+                self._tick_hook()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue empties, or until time ``until`` is reached.
@@ -121,6 +152,22 @@ class Engine:
         When ``until`` is given the clock is advanced exactly to ``until``
         even if no event falls on it (mirrors SimPy semantics).
         """
+        if self._tick_hook is not None:
+            # Audited runs take the step() path: slower, but the hook
+            # fires between events with fully consistent model state.
+            if until is None:
+                while self._queue:
+                    self.step()
+            else:
+                limit = float(until)
+                if limit < self._now:
+                    raise ValueError(
+                        f"until ({limit}) is in the past (now={self._now})"
+                    )
+                while self._queue and self._queue[0][0] <= limit:
+                    self.step()
+                self._now = limit
+            return
         # The drain loop below inlines step(): one bound-method call and
         # two attribute loads per event add up over multi-million-event
         # runs, so the queue and heappop are bound to locals and the

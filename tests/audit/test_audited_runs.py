@@ -1,0 +1,91 @@
+"""End-to-end audit mode: real workloads run clean under the full suite,
+audited results are bit-identical to unaudited ones, and a mid-run
+corruption is caught while the simulation is still in flight."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.core.runner import run_experiment
+from repro.sim.audit import InvariantViolation
+from tests.conftest import SyntheticWorkload
+
+SCALE = 0.1
+
+CELLS = [
+    ("sor", "nwcache", "optimal"),
+    ("radix", "standard", "naive"),
+    ("fft", "nwcache", "naive"),
+]
+
+
+@pytest.mark.parametrize("app,system,prefetch", CELLS)
+def test_audited_run_completes_clean(app, system, prefetch):
+    res = run_experiment(app, system, prefetch, data_scale=SCALE, audit=True)
+    assert res.extras["audit_passes"] > 0
+    assert res.extras["audit_checks"] > res.extras["audit_passes"]
+    assert res.exec_time > 0
+
+
+@pytest.mark.parametrize("app,system,prefetch", CELLS[:2])
+def test_audit_does_not_perturb_results(app, system, prefetch):
+    """The tick hook fires between events: bit-identical trajectories."""
+    audited = run_experiment(app, system, prefetch, data_scale=SCALE, audit=True)
+    plain = run_experiment(app, system, prefetch, data_scale=SCALE)
+    assert audited.exec_time == plain.exec_time
+    assert audited.events_processed == plain.events_processed
+    assert audited.metrics.counts.as_dict() == plain.metrics.counts.as_dict()
+    assert audited.breakdown == plain.breakdown
+    assert audited.network_bytes == plain.network_bytes
+
+
+def test_tight_cadence_matches_default_cadence():
+    from repro.core.runner import experiment_config
+
+    base = experiment_config(SCALE)
+    kw = dict(data_scale=SCALE, audit=True)
+    every1 = run_experiment(
+        "sor", "nwcache", "optimal",
+        cfg=base.replace(audit_every_events=1), **kw,
+    )
+    default = run_experiment("sor", "nwcache", "optimal", cfg=base, **kw)
+    assert every1.exec_time == default.exec_time
+    assert every1.extras["audit_passes"] > default.extras["audit_passes"]
+
+
+def test_midrun_corruption_is_caught():
+    m = Machine(
+        SimConfig.tiny(audit=True, audit_every_events=8), system="nwcache"
+    )
+    app = SyntheticWorkload(n_pages=64, sweeps=2)
+
+    def saboteur(eng):
+        yield eng.timeout(50_000.0)
+        m.metrics.swapout.n = -5  # corrupt an accumulator mid-flight
+
+    m.engine.process(saboteur(m.engine))
+    with pytest.raises(InvariantViolation) as exc_info:
+        m.run(app)
+    assert exc_info.value.invariant == "tally-sanity"
+    # caught while the machine was still running, not at quiescence
+    assert any(cpu.finished_at is None for cpu in m.cpus)
+
+
+def test_env_var_enables_audit(monkeypatch):
+    monkeypatch.setenv("NWCACHE_AUDIT", "1")
+    res = run_experiment("sor", "nwcache", "optimal", data_scale=SCALE)
+    assert "audit_checks" in res.extras
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "no"])
+def test_env_var_falsey_values_keep_audit_off(monkeypatch, value):
+    monkeypatch.setenv("NWCACHE_AUDIT", value)
+    res = run_experiment("sor", "nwcache", "optimal", data_scale=SCALE)
+    assert "audit_checks" not in res.extras
+
+
+def test_explicit_false_overrides_env(monkeypatch):
+    monkeypatch.setenv("NWCACHE_AUDIT", "1")
+    res = run_experiment("sor", "nwcache", "optimal", data_scale=SCALE,
+                         audit=False)
+    assert "audit_checks" not in res.extras

@@ -1,0 +1,196 @@
+"""Auditor framework: registration, engine hookup, and cost when disabled."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.sim.audit import (
+    Auditor,
+    Invariant,
+    InvariantViolation,
+    MonotonicTimeInvariant,
+    TallySanityInvariant,
+)
+from repro.sim.engine import Engine
+from repro.sim.stats import Tally
+
+
+class _CountingInvariant(Invariant):
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def check(self, now):
+        self.calls += 1
+
+
+class _AlwaysFails(Invariant):
+    name = "always-fails"
+
+    def check(self, now):
+        self.fail("intentionally broken", now)
+
+
+def _burn(eng, n):
+    for _ in range(n):
+        yield eng.timeout(1.0)
+
+
+# ---------------------------------------------------------------- tick hook
+def test_tick_hook_fires_between_events():
+    eng = Engine()
+    fired = []
+    eng.set_tick_hook(lambda: fired.append(eng.events_processed))
+    eng.process(_burn(eng, 5))
+    eng.run()
+    # one firing per processed event, always after the count was bumped
+    assert len(fired) == eng.events_processed
+    assert fired == sorted(fired)
+
+
+def test_tick_hook_every_n():
+    eng = Engine()
+    fired = []
+    eng.set_tick_hook(lambda: fired.append(eng.events_processed), every=3)
+    eng.process(_burn(eng, 10))
+    eng.run()
+    assert len(fired) == eng.events_processed // 3
+
+
+def test_tick_hook_bounded_run_and_removal():
+    eng = Engine()
+    fired = []
+    eng.set_tick_hook(lambda: fired.append(eng.now))
+    eng.process(_burn(eng, 10))
+    eng.run(until=4.5)
+    assert eng.now == 4.5
+    assert fired  # hook ran on the bounded path
+    n = len(fired)
+    eng.set_tick_hook(None)
+    eng.run()
+    assert len(fired) == n  # removed hook never fires again
+
+
+def test_tick_hook_rejects_bad_cadence():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.set_tick_hook(lambda: None, every=0)
+
+
+def test_hooked_run_matches_fast_path():
+    def drive(eng):
+        eng.process(_burn(eng, 20))
+        eng.run()
+        return eng.now, eng.events_processed
+
+    plain = drive(Engine())
+    hooked_eng = Engine()
+    hooked_eng.set_tick_hook(lambda: None, every=2)
+    assert drive(hooked_eng) == plain
+
+
+# ---------------------------------------------------------------- registration
+def test_register_rejects_duplicate_names():
+    aud = Auditor(Engine())
+    aud.register(_CountingInvariant())
+    with pytest.raises(ValueError, match="duplicate"):
+        aud.register(_CountingInvariant())
+
+
+def test_auditor_rejects_bad_cadence():
+    with pytest.raises(ValueError):
+        Auditor(Engine(), every_events=0)
+
+
+def test_monotonic_time_registered_by_default():
+    aud = Auditor(Engine())
+    assert aud.names() == ["time-monotonic"]
+    assert isinstance(aud.invariants[0], MonotonicTimeInvariant)
+
+
+# ---------------------------------------------------------------- checking
+def test_install_runs_checks_during_sim():
+    eng = Engine()
+    aud = Auditor(eng, every_events=2)
+    counting = aud.register(_CountingInvariant())
+    aud.install()
+    eng.process(_burn(eng, 10))
+    eng.run()
+    assert counting.calls == aud.passes == eng.events_processed // 2
+    assert aud.checks == aud.passes * len(aud.invariants)
+    assert aud.violations == []
+
+
+def test_violation_propagates_out_of_run():
+    eng = Engine()
+    aud = Auditor(eng, every_events=1)
+    aud.register(_AlwaysFails())
+    aud.install()
+    eng.process(_burn(eng, 3))
+    with pytest.raises(InvariantViolation) as exc_info:
+        eng.run()
+    assert exc_info.value.invariant == "always-fails"
+    assert "intentionally broken" in str(exc_info.value)
+    assert len(aud.violations) == 1
+
+
+def test_collect_mode_keeps_running():
+    eng = Engine()
+    aud = Auditor(eng, every_events=1, raise_on_violation=False)
+    aud.register(_AlwaysFails())
+    aud.install()
+    eng.process(_burn(eng, 4))
+    eng.run()  # does not raise
+    assert len(aud.violations) == eng.events_processed
+    assert aud.summary()["violations"] == len(aud.violations)
+
+
+def test_uninstall_restores_fast_path():
+    eng = Engine()
+    aud = Auditor(eng)
+    aud.install()
+    assert eng._tick_hook is not None
+    aud.uninstall()
+    assert eng._tick_hook is None
+
+
+def test_tally_sanity_accepts_real_tallies():
+    t = Tally()
+    for v in (1.0, 2.0, 3.0):
+        t.record(v)
+    inv = TallySanityInvariant({"t": t})
+    inv.check(0.0)  # no violation
+    t.record(4.0)
+    inv.check(1.0)  # growth is fine
+
+
+# ---------------------------------------------------------------- machine wiring
+def test_machine_without_audit_has_no_hook():
+    m = Machine(SimConfig.tiny(), system="nwcache")
+    assert m.auditor is None
+    assert m.engine._tick_hook is None
+
+
+def test_machine_with_audit_builds_full_suite():
+    m = Machine(SimConfig.tiny(audit=True), system="nwcache")
+    assert m.auditor is not None
+    assert m.engine._tick_hook is not None
+    names = set(m.auditor.names())
+    assert {
+        "time-monotonic", "tally-sanity", "time-accounting", "page-state",
+        "frame-conservation", "disk-cache", "disk-queue", "ring-occupancy",
+        "ring-conservation", "fifo-consistency", "fifo-order",
+    } == names
+
+
+def test_standard_machine_skips_ring_invariants():
+    m = Machine(SimConfig.tiny(audit=True), system="standard")
+    names = set(m.auditor.names())
+    assert not any(n.startswith(("ring-", "fifo-")) for n in names)
+    assert "page-state" in names
+
+
+def test_config_validates_audit_cadence():
+    with pytest.raises(ValueError, match="audit_every_events"):
+        SimConfig.tiny(audit_every_events=0)

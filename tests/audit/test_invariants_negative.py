@@ -1,0 +1,228 @@
+"""Tamper tests: every shipped invariant must catch its own violation.
+
+A consistent mid-simulation state is built by driving the real model
+APIs synchronously (no engine run needed), verified clean, then broken
+one invariant at a time.  ``TAMPERS`` maps every registered invariant
+name to the corruption that must trip it — a completeness test asserts
+the map covers the auditor's full suite, so adding an invariant without
+a negative test fails here.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.disk.controller import _Slot
+from repro.sim.audit import InvariantViolation
+
+
+def sync_alloc(pool):
+    """Drive FramePool.alloc to completion; the pool must not be empty."""
+    gen = pool.alloc()
+    try:
+        next(gen)
+    except StopIteration as done:
+        return done.value
+    raise AssertionError("alloc blocked during test setup")
+
+
+class MidState:
+    """An audited NWCache machine frozen in a legal mid-run state:
+    one resident page on node 0 plus two pages circulating on node 0's
+    cache channel, both queued for drain at their disk's interface."""
+
+    def __init__(self):
+        self.machine = m = Machine(SimConfig.tiny(audit=True), system="nwcache")
+        pages = m.fs.allocate(8)
+        m.vm.register_pages(pages)
+        vm, pool = m.vm, m.pools[0]
+
+        self.mem_page = pages.start
+        entry = vm.table[self.mem_page]
+        entry.to_inflight(0)
+        entry.to_memory(0, sync_alloc(pool), dirty=True)
+        vm.resident[0].insert(self.mem_page)
+
+        self.channel = ch = m.ring.channel_of(0)
+        # two pages striped onto the same disk -> one interface FIFO
+        candidates = [p for p in pages if p != self.mem_page]
+        io_node = m.swap.io_node_of(candidates[0])
+        self.ring_pages = [
+            p for p in candidates if m.swap.io_node_of(p) == io_node
+        ][:2]
+        assert len(self.ring_pages) == 2
+        self.iface = m.interfaces[io_node]
+        for p in self.ring_pages:
+            entry = vm.table[p]
+            entry.to_inflight(0)
+            frame = sync_alloc(pool)
+            entry.to_memory(0, frame, dirty=True)
+            vm.resident[0].insert(p)
+            vm.resident[0].remove(p)
+            entry.to_swapping()
+            ch.reserve_slot()
+            ch.insert(p)
+            entry.to_ring(ch.index, swapper=0)
+            self.iface.notify_swapout(ch.index, p, 0)
+            pool.free(frame)
+
+
+@pytest.fixture
+def state():
+    return MidState()
+
+
+def test_constructed_state_is_clean(state):
+    aud = state.machine.auditor
+    assert aud.check_all() == len(aud.invariants)
+    assert aud.violations == []
+
+
+# ------------------------------------------------------------------ tampers
+def _tamper_clock(s):
+    s.machine.engine._now = -10.0
+
+
+def _tamper_tally(s):
+    s.machine.metrics.swapout.n = -1
+
+
+def _tamper_accounting(s):
+    s.machine.cpus[0].acct.times["fault"] = -1.0
+
+
+def _tamper_page_state(s):
+    s.machine.vm.table[s.mem_page].node = None
+
+
+def _tamper_frames(s):
+    # the resident page's frame appears both mapped and free
+    s.machine.pools[0]._free.append(s.machine.vm.table[s.mem_page].frame)
+
+
+def _tamper_disk_cache(s):
+    ctrl = s.machine.controllers[0]
+    ctrl._slots[12345] = _Slot(999, dirty=False, order=-1)
+
+
+def _tamper_disk_queue(s):
+    disk = s.machine.disks[0]
+    disk.n_ops = 3       # ops completed with no service/response samples
+    disk.pages_moved = 3
+
+
+def _tamper_occupancy(s):
+    s.channel._reserved = -1
+
+
+def _tamper_conservation(s):
+    # page vanishes from the fiber while its Ring bit stays set
+    del s.channel._pages[s.ring_pages[0]]
+
+
+def _tamper_fifo_consistency(s):
+    # queue a page that is not circulating on that channel
+    s.iface._fifos[s.channel.index].append((s.mem_page, 0, s.iface._fifo_seq))
+    s.iface._fifo_seq += 1
+
+
+def _tamper_fifo_order(s):
+    # both entries stay individually valid, but their order flips
+    s.iface._fifos[s.channel.index].reverse()
+
+
+TAMPERS = {
+    "time-monotonic": _tamper_clock,
+    "tally-sanity": _tamper_tally,
+    "time-accounting": _tamper_accounting,
+    "page-state": _tamper_page_state,
+    "frame-conservation": _tamper_frames,
+    "disk-cache": _tamper_disk_cache,
+    "disk-queue": _tamper_disk_queue,
+    "ring-occupancy": _tamper_occupancy,
+    "ring-conservation": _tamper_conservation,
+    "fifo-consistency": _tamper_fifo_consistency,
+    "fifo-order": _tamper_fifo_order,
+}
+
+
+def test_every_registered_invariant_has_a_tamper(state):
+    assert set(state.machine.auditor.names()) == set(TAMPERS)
+
+
+@pytest.mark.parametrize("name", sorted(TAMPERS))
+def test_tamper_trips_its_invariant(state, name):
+    aud = state.machine.auditor
+    aud.check_all()  # clean pass (also snapshots the stateful invariants)
+    TAMPERS[name](state)
+    with pytest.raises(InvariantViolation) as exc_info:
+        aud.check_all()
+    assert exc_info.value.invariant == name
+    assert aud.violations[-1] is exc_info.value
+
+
+def test_more_page_state_tampers(state):
+    """A few extra page-table corruptions beyond the canonical one."""
+    vm = state.machine.vm
+    aud = state.machine.auditor
+
+    # resident-policy tracking a page the table says is on the ring
+    vm.resident[1].insert(state.ring_pages[0])
+    with pytest.raises(InvariantViolation) as exc_info:
+        aud.check_all()
+    assert exc_info.value.invariant == "page-state"
+    vm.resident[1].remove(state.ring_pages[0])
+
+    # a RING entry still holding its old frame mapping
+    entry = vm.table[state.ring_pages[1]]
+    entry.frame = 3
+    with pytest.raises(InvariantViolation) as exc_info:
+        aud.check_all()
+    assert exc_info.value.invariant == "page-state"
+    entry.frame = None
+    aud.violations.clear()
+    aud.check_all()  # state restored -> clean again
+
+
+def test_duplicated_ring_page_detected(state):
+    """The same page circulating on two channels is a conservation bug."""
+    other = state.machine.ring.channel_of(1)
+    other.reserve_slot()
+    other.insert(state.ring_pages[0])
+    with pytest.raises(InvariantViolation) as exc_info:
+        state.machine.auditor.check_all()
+    assert exc_info.value.invariant == "ring-conservation"
+
+
+def test_fabricated_fifo_stamp_detected(state):
+    """An entry stamped beyond the interface's counter was never issued."""
+    fifo = state.iface._fifos[state.channel.index]
+    page, swapper, _seq = fifo[-1]
+    fifo[-1] = (page, swapper, state.iface._fifo_seq + 7)
+    with pytest.raises(InvariantViolation) as exc_info:
+        state.machine.auditor.check_all()
+    assert exc_info.value.invariant == "fifo-order"
+
+
+def test_claim_and_requeue_is_not_a_false_positive(state):
+    """A victim-read claim followed by a re-swap-out re-enqueues the same
+    (page, swapper) pair; the order invariant must accept that (this is
+    the churn pattern real runs produce)."""
+    iface, ch = state.iface, state.channel
+    aud = state.machine.auditor
+    aud.check_all()
+    page = state.ring_pages[0]
+    swapper = state.machine.vm.table[page].last_swapper
+    assert iface.try_claim(ch.index, page)
+    iface.notify_swapout(channel=ch.index, page=page, swapper=swapper)
+    aud.check_all()  # claimed head re-enqueued at the tail: still legal
+
+
+def test_swapper_mismatch_detected(state):
+    """FIFO entry whose recorded swapper disagrees with the page table."""
+    fifo = state.iface._fifos[state.channel.index]
+    page, _swapper, seq = fifo[0]
+    fifo[0] = (page, 2, seq)
+    with pytest.raises(InvariantViolation) as exc_info:
+        state.machine.auditor.check_all()
+    assert exc_info.value.invariant == "fifo-consistency"

@@ -4,6 +4,13 @@ from typing import List, Optional
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/regression/golden snapshots instead of comparing",
+    )
+
 from repro.apps.base import Stream, Workload, barrier, block_range, visit
 from repro.config import SimConfig
 from repro.core.machine import Machine

@@ -1,0 +1,85 @@
+"""Tests for scripts/check_coverage.py using synthetic Cobertura XML
+(the script only parses XML, so no coverage tooling is required)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_coverage.py"
+
+spec = importlib.util.spec_from_file_location("check_coverage", SCRIPT)
+check_coverage = importlib.util.module_from_spec(spec)
+sys.modules["check_coverage"] = check_coverage
+spec.loader.exec_module(check_coverage)
+
+
+def _report(tmp_path, line_rate: float) -> Path:
+    path = tmp_path / "coverage.xml"
+    path.write_text(
+        f'<?xml version="1.0"?>\n<coverage line-rate="{line_rate}" '
+        f'branch-rate="0" version="7.0" timestamp="0"></coverage>\n'
+    )
+    return path
+
+
+def _baseline(tmp_path, percent: float) -> Path:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"line_percent": percent}))
+    return path
+
+
+def _run(tmp_path, measured_pct, baseline_pct):
+    report = _report(tmp_path, measured_pct / 100.0)
+    baseline = _baseline(tmp_path, baseline_pct)
+    return check_coverage.main([str(report), "--baseline", str(baseline)])
+
+
+def test_at_baseline_passes(tmp_path, capsys):
+    assert _run(tmp_path, 80.0, 80.0) == 0
+    out = capsys.readouterr().out
+    assert "::warning" not in out and "::error" not in out
+
+
+def test_above_baseline_passes(tmp_path, capsys):
+    assert _run(tmp_path, 91.2, 80.0) == 0
+    assert "91.20%" in capsys.readouterr().out
+
+
+def test_small_drop_warns_but_passes(tmp_path, capsys):
+    assert _run(tmp_path, 77.0, 80.0) == 0
+    assert "::warning" in capsys.readouterr().out
+
+
+def test_large_drop_fails(tmp_path, capsys):
+    assert _run(tmp_path, 74.0, 80.0) == 1
+    assert "::error" in capsys.readouterr().out
+
+
+def test_boundary_drop_is_non_blocking(tmp_path):
+    """Exactly MAX_DROP points below still warns rather than fails."""
+    assert _run(tmp_path, 75.0, 80.0) == 0
+
+
+def test_update_writes_floor_with_headroom(tmp_path, capsys):
+    report = _report(tmp_path, 0.843)
+    baseline = tmp_path / "baseline.json"
+    rc = check_coverage.main(
+        [str(report), "--baseline", str(baseline), "--update"]
+    )
+    assert rc == 0
+    data = json.loads(baseline.read_text())
+    assert data["line_percent"] == pytest.approx(83.8)
+    # the freshly updated baseline passes against the same report
+    assert check_coverage.main(
+        [str(report), "--baseline", str(baseline)]
+    ) == 0
+
+
+def test_missing_line_rate_is_loud(tmp_path):
+    bad = tmp_path / "coverage.xml"
+    bad.write_text('<?xml version="1.0"?><coverage></coverage>')
+    with pytest.raises(SystemExit, match="line-rate"):
+        check_coverage.read_line_rate(bad)

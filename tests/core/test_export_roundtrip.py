@@ -1,0 +1,144 @@
+"""Round-trip regression tests for the full-fidelity result export.
+
+Exercises the edges the happy-path tests skip: empty result lists, runs
+with zero recorded samples (Tally min/max = None), non-finite metric
+values, and configs saved before the audit fields existed."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.export import (
+    load_full_results,
+    result_from_full_dict,
+    result_to_full_dict,
+    save_full_results,
+)
+from repro.core.machine import RunResult
+from repro.core.runner import run_experiment
+from repro.hw.accounting import TimeAccount
+from repro.metrics import Metrics
+from repro.sim import Tally
+
+
+def _assert_tally_equal(a: Tally, b: Tally):
+    assert a.n == b.n and a.total == b.total
+    assert a.min == b.min and a.max == b.max
+    assert a._mean == b._mean and a._m2 == b._m2
+
+
+def _assert_results_equal(a: RunResult, b: RunResult):
+    assert (a.app, a.system, a.prefetch) == (b.app, b.system, b.prefetch)
+    assert a.cfg == b.cfg
+    assert a.exec_time == b.exec_time
+    assert a.breakdown == b.breakdown
+    assert a.metrics.counts.as_dict() == b.metrics.counts.as_dict()
+    for name in ("swapout", "swapout_wait", "fault_latency",
+                 "disk_hit_latency", "ring_hit_latency"):
+        _assert_tally_equal(getattr(a.metrics, name), getattr(b.metrics, name))
+    _assert_tally_equal(a.combining, b.combining)
+    assert a.swapout_mean == b.swapout_mean
+    assert a.ring_hit_rate == b.ring_hit_rate
+    assert a.disk_hit_latency == b.disk_hit_latency
+    assert a.events_processed == b.events_processed
+    assert a.network_bytes == b.network_bytes
+    assert a.extras == b.extras
+    assert len(a.per_cpu) == len(b.per_cpu)
+    for acct_a, acct_b in zip(a.per_cpu, b.per_cpu):
+        assert acct_a.as_dict() == acct_b.as_dict()
+
+
+def _zero_result() -> RunResult:
+    """A run that did no paging at all: empty tallies, zero counters."""
+    return RunResult(
+        app="idle", system="standard", prefetch="optimal",
+        cfg=SimConfig.tiny(), exec_time=0.0,
+        breakdown={"other": 0.0}, metrics=Metrics(), combining=Tally(),
+        swapout_mean=0.0, ring_hit_rate=0.0, disk_hit_latency=0.0,
+        events_processed=0, per_cpu=[TimeAccount()], network_bytes=0,
+        extras={},
+    )
+
+
+def test_empty_result_list_round_trips(tmp_path):
+    path = tmp_path / "empty.json"
+    assert save_full_results(path, []) == 0
+    assert load_full_results(path) == []
+
+
+def test_real_run_round_trips(tmp_path):
+    res = run_experiment("sor", "nwcache", "optimal", data_scale=0.05,
+                         audit=True)
+    path = tmp_path / "run.json"
+    assert save_full_results(path, [res]) == 1
+    (loaded,) = load_full_results(path)
+    _assert_results_equal(res, loaded)
+
+
+def test_zero_page_run_round_trips(tmp_path):
+    """Empty tallies serialize min/max as None and reload unchanged."""
+    res = _zero_result()
+    assert res.metrics.swapout.min is None
+    path = tmp_path / "zero.json"
+    save_full_results(path, [res])
+    (loaded,) = load_full_results(path)
+    _assert_results_equal(res, loaded)
+    assert loaded.metrics.swapout.n == 0
+    assert loaded.metrics.swapout.min is None
+
+
+def test_non_finite_metrics_round_trip(tmp_path):
+    """inf/nan can legitimately appear (e.g. a rate with zero samples
+    forced through a division) and must survive the JSON trip."""
+    res = _zero_result()
+    res.exec_time = float("inf")
+    res.extras = {"weird": float("nan"), "neg": float("-inf")}
+    path = tmp_path / "nonfinite.json"
+    save_full_results(path, [res])
+    (loaded,) = load_full_results(path)
+    assert loaded.exec_time == float("inf")
+    assert math.isnan(loaded.extras["weird"])
+    assert loaded.extras["neg"] == float("-inf")
+
+
+def test_dict_round_trip_without_files():
+    res = _zero_result()
+    _assert_results_equal(res, result_from_full_dict(result_to_full_dict(res)))
+
+
+def test_pre_audit_config_dicts_still_load():
+    """Results archived before the audit fields existed deserialize with
+    the defaults (backward compatibility of the full-dict schema)."""
+    res = _zero_result()
+    d = result_to_full_dict(res)
+    assert d["cfg"]["audit"] is False
+    del d["cfg"]["audit"]
+    del d["cfg"]["audit_every_events"]
+    loaded = result_from_full_dict(d)
+    assert loaded.cfg.audit is False
+    assert loaded.cfg.audit_every_events == SimConfig.tiny().audit_every_events
+
+
+def test_unknown_config_field_raises():
+    """Forward-compat guard: a field this build does not know is loud."""
+    d = result_to_full_dict(_zero_result())
+    d["cfg"]["not_a_real_knob"] = 7
+    with pytest.raises(TypeError):
+        result_from_full_dict(d)
+
+
+def test_load_rejects_non_list(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{}")
+    with pytest.raises(ValueError, match="expected a list"):
+        load_full_results(path)
+
+
+def test_config_covers_every_dataclass_field():
+    """The export writes every SimConfig field, so nothing silently
+    drops out of archives when new knobs (like audit) are added."""
+    d = result_to_full_dict(_zero_result())
+    field_names = {f.name for f in dataclasses.fields(SimConfig)}
+    assert set(d["cfg"]) == field_names

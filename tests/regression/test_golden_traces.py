@@ -1,0 +1,85 @@
+"""Golden-trace snapshots: one small deterministic run per application.
+
+Each snapshot pins the complete observable outcome of a scale-0.1
+NWCache/naive run — execution time, event count, every metric counter,
+swap-out statistics, and the time breakdown.  Any model change that
+alters simulated behaviour trips these tests; when the change is
+intentional, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/regression/test_golden_traces.py \\
+        --regen-golden
+
+and review the snapshot diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps import APP_NAMES
+from repro.core.machine import RunResult
+from repro.core.runner import run_experiment
+
+SCALE = 0.1
+SYSTEM = "nwcache"
+PREFETCH = "naive"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: snapshot fields compared exactly (integer-valued observables)
+EXACT_KEYS = ("events_processed", "counts", "swapout_n", "combining_n",
+              "network_bytes")
+#: snapshot fields compared to 1e-9 relative tolerance (accumulated floats)
+APPROX_KEYS = ("exec_time", "swapout_mean", "ring_hit_rate", "breakdown",
+               "combining_mean")
+
+
+def snapshot(res: RunResult) -> dict:
+    """The observables a golden file pins, as JSON-stable primitives."""
+    return {
+        "exec_time": res.exec_time,
+        "events_processed": res.events_processed,
+        "counts": {k: int(v) for k, v in res.metrics.counts.as_dict().items()},
+        "swapout_n": res.metrics.swapout.n,
+        "swapout_mean": res.swapout_mean,
+        "ring_hit_rate": res.ring_hit_rate,
+        "breakdown": {k: float(v) for k, v in res.breakdown.items()},
+        "combining_n": res.combining.n,
+        "combining_mean": res.combining.mean,
+        "network_bytes": res.network_bytes,
+    }
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_golden_trace(app, request):
+    res = run_experiment(app, SYSTEM, PREFETCH, data_scale=SCALE)
+    snap = snapshot(res)
+    path = GOLDEN_DIR / f"{app}.json"
+    if request.config.getoption("--regen-golden"):
+        path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run with --regen-golden"
+    )
+    want = json.loads(path.read_text())
+    assert set(want) == set(snap), "snapshot schema changed; regenerate"
+    for key in EXACT_KEYS:
+        assert snap[key] == want[key], f"{app}: {key} diverged from golden"
+    for key in APPROX_KEYS:
+        got, exp = snap[key], want[key]
+        if isinstance(exp, dict):
+            assert got == pytest.approx(exp, rel=1e-9), (
+                f"{app}: {key} diverged from golden"
+            )
+        else:
+            assert got == pytest.approx(exp, rel=1e-9), (
+                f"{app}: {key} diverged from golden"
+            )
+
+
+def test_golden_run_is_reproducible():
+    """Two in-process runs of the same cell are bit-identical (the
+    property the golden files rely on)."""
+    a = snapshot(run_experiment("sor", SYSTEM, PREFETCH, data_scale=SCALE))
+    b = snapshot(run_experiment("sor", SYSTEM, PREFETCH, data_scale=SCALE))
+    assert a == b

@@ -1,0 +1,117 @@
+"""Smoke tests for the ``python -m repro`` entry point.
+
+These run the CLI the way a user does — as a subprocess — so they cover
+``repro.__main__``, argument parsing, exit codes, and the ``--audit``
+and ``batch --json`` paths end to end."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.export import load_full_results
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run_cli(*argv, cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["NWCACHE_CACHE_DIR"] = str(cache_dir)
+    env.pop("NWCACHE_AUDIT", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+
+
+def test_main_describe(tmp_path):
+    proc = _run_cli("describe", cache_dir=tmp_path)
+    assert proc.returncode == 0
+    assert "Number of Nodes" in proc.stdout
+
+
+def test_main_run_audited(tmp_path):
+    proc = _run_cli("run", "sor", "--scale", "0.05", "--audit",
+                    cache_dir=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "system=nwcache" in proc.stdout
+    assert "audit" in proc.stdout
+    assert "all held" in proc.stdout
+
+
+def test_main_run_without_audit_prints_no_audit_line(tmp_path):
+    proc = _run_cli("run", "sor", "--scale", "0.05", cache_dir=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "all held" not in proc.stdout
+
+
+def test_main_batch_json_export(tmp_path):
+    out = tmp_path / "results.json"
+    proc = _run_cli(
+        "batch", "--apps", "sor", "--systems", "nwcache",
+        "--prefetchers", "optimal", "--scale", "0.05", "--jobs", "1",
+        "--no-cache", "--json", str(out), cache_dir=tmp_path / "cache",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out.exists()
+    (res,) = load_full_results(out)
+    assert res.app == "sor" and res.system == "nwcache"
+    assert res.exec_time > 0
+
+
+def test_main_batch_audit_disables_cache(tmp_path):
+    proc = _run_cli(
+        "batch", "--apps", "sor", "--systems", "nwcache",
+        "--prefetchers", "optimal", "--scale", "0.05", "--jobs", "1",
+        "--audit", cache_dir=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "audit mode: result cache disabled" in proc.stderr
+    # nothing was written into the result cache
+    assert not list(Path(tmp_path).rglob("*.json"))
+
+
+def test_main_bad_command_fails(tmp_path):
+    proc = _run_cli("frobnicate", cache_dir=tmp_path)
+    assert proc.returncode != 0
+    assert "invalid choice" in proc.stderr
+
+
+def test_main_missing_command_fails(tmp_path):
+    proc = _run_cli(cache_dir=tmp_path)
+    assert proc.returncode != 0
+
+
+# ---------------------------------------------------------------------------
+# in-process coverage of the --audit CLI paths (faster than subprocess)
+
+def test_run_audit_flag_in_process(capsys):
+    assert main(["run", "sor", "--scale", "0.05", "--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "invariant checks" in out
+
+
+def test_report_audit_flag_in_process(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("NWCACHE_CACHE_DIR", str(tmp_path))
+    rc = main(["run", "sor", "--scale", "0.05", "--audit", "--report"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sor" in out
+
+
+def test_batch_audit_flag_in_process(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("NWCACHE_CACHE_DIR", str(tmp_path))
+    rc = main([
+        "batch", "--apps", "sor", "--systems", "nwcache",
+        "--prefetchers", "optimal", "--scale", "0.05", "--jobs", "1",
+        "--audit",
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "sor" in captured.out
+    assert "audit mode: result cache disabled" in captured.err
