@@ -7,15 +7,25 @@ Measures, without pytest overhead so numbers are comparable across runs:
 * wall-clock of one end-to-end experiment cell (events/sec too);
 * serial vs parallel wall-clock for a small grid through
   ``repro.core.batch.run_batch`` (cache disabled), plus the warm-cache
-  re-run time for the same grid.
+  re-run time for the same grid;
+* trace compilation: cold compile vs warm replay of the compiled
+  reference traces (``repro.core.trace``), per app;
+* pair runs: wall-clock of a full standard+NWCache pair per app, on the
+  generator path vs the warm compiled-trace path.
+
+With ``--baseline OLD.json`` the pair section also reports each app's
+speedup against the older record's generator-path times (this is how the
+trajectory vs the pre-trace-compiler tree is tracked).
 
 Usage:
     PYTHONPATH=src python scripts/bench_report.py [--scale 0.1]
-        [--jobs N] [--out BENCH_kernel.json]
+        [--jobs N] [--out BENCH_kernel.json] [--baseline OLD.json]
+        [--baseline-tree /path/to/older/checkout]
 """
 
 import argparse
 import json
+import math
 import platform
 import sys
 import time
@@ -24,6 +34,10 @@ from pathlib import Path
 from repro.core.batch import default_jobs, grid_specs, run_batch
 from repro.core.cache import ResultCache
 from repro.sim import Engine
+
+#: apps measured by the trace/pair sections (chosen to span the
+#: fault-dominated and compute-dominated ends of the suite)
+PAIR_APPS = ("gauss", "sor", "radix", "em3d", "fft", "lu", "mg")
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -99,13 +113,156 @@ def bench_grid(scale: float, jobs: int, tmp_cache: Path) -> dict:
     }
 
 
+def bench_traces(scale: float) -> dict:
+    """Cold-compile vs warm-replay cost of the compiled reference traces."""
+    from repro.apps import make_app
+    from repro.core.runner import linear_scale
+    from repro.core import trace as trace_mod
+
+    out = {}
+    for app in PAIR_APPS:
+        wl = make_app(app, scale=linear_scale(app, scale))
+        trace_mod.clear_memo()
+        cold = _timed(
+            lambda: trace_mod.get_trace(wl, 8, 1999, cache=False)
+        )
+        compiled = trace_mod.get_trace(wl, 8, 1999, cache=False)
+        # warm replay cost = fetching the memoized trace + decoding the
+        # columns the CPUs iterate (cached after the first decode)
+        warm = _timed(
+            lambda: [
+                trace_mod.get_trace(wl, 8, 1999, cache=False).columns(p)
+                for p in range(8)
+            ]
+        )
+        out[app] = {
+            "items": compiled.n_items,
+            "array_bytes": compiled.nbytes(),
+            "cold_compile_seconds": cold,
+            "warm_replay_seconds": warm,
+        }
+    trace_mod.clear_memo()
+    return out
+
+
+#: measurement snippet run in a pristine interpreter per repetition —
+#: in-process timings drift several percent slow once the earlier
+#: microbenches have heated the heap, and the warm-replay scenario the
+#: on-disk trace cache exists for *is* a fresh process reading the cache.
+_PAIR_SNIPPET = """
+import sys, time
+from repro.core.runner import run_pair
+app, scale, compiled = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+# "-" = tree predates the compiled_traces parameter (baseline trees)
+kw = {} if compiled == "-" else {"compiled_traces": compiled == "1"}
+run_pair(app, data_scale=scale, **kw)  # warm-up
+t0 = time.perf_counter()
+run_pair(app, data_scale=scale, **kw)
+print(time.perf_counter() - t0)
+"""
+
+
+def _pair_once(app: str, scale: float, compiled: str, tree=None) -> float:
+    """One subprocess pair measurement (second run of two, timed).
+
+    ``compiled`` is "1"/"0" for the current tree, "-" for a baseline
+    tree whose ``run_pair`` has no ``compiled_traces`` parameter;
+    ``tree`` points PYTHONPATH at an alternative checkout.
+    """
+    import os
+    import subprocess
+
+    src = (
+        Path(tree) / "src"
+        if tree
+        else Path(__file__).resolve().parent.parent / "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src)
+    out = subprocess.run(
+        [sys.executable, "-c", _PAIR_SNIPPET, app, str(scale), compiled],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return float(out.stdout.strip())
+
+
+def bench_pairs(
+    scale: float, baseline: "dict | None", baseline_tree=None
+) -> dict:
+    """Standard+NWCache pair wall-clock: generator path vs warm traces.
+
+    ``baseline`` is an older BENCH_kernel.json report (already parsed);
+    when it carries pair timings, each app also gets a
+    ``speedup_vs_baseline_generator`` — warm-trace time against the old
+    record's generator-path time.  ``baseline_tree`` is stronger: a path
+    to an older checkout (e.g. a ``git worktree`` of the pre-trace-
+    compiler revision) whose generator path is *re-measured here*,
+    interleaved rep-by-rep with the current tree's numbers — wall-clock
+    comparisons across separately-taken records drift with machine load
+    and thermal state, interleaving does not.
+
+    Measurements run in fresh subprocesses, best-of-5: pair runs are
+    short enough that scheduler noise and accumulated interpreter state
+    dominate single in-process timings.
+    """
+    base_pairs = (baseline or {}).get("pair", {}).get("apps", {})
+    apps = {}
+    for app in PAIR_APPS:
+        base = gen = warm = math.inf
+        for _ in range(5):
+            if baseline_tree:
+                base = min(base, _pair_once(app, scale, "-", baseline_tree))
+            gen = min(gen, _pair_once(app, scale, "0"))
+            warm = min(warm, _pair_once(app, scale, "1"))
+        entry = {
+            "generator_s": gen,
+            "warm_trace_s": warm,
+            "speedup_warm_vs_generator": gen / warm if warm > 0 else 0.0,
+        }
+        base_gen = (
+            base if baseline_tree else base_pairs.get(app, {}).get("generator_s")
+        )
+        if base_gen:
+            entry["baseline_generator_s"] = base_gen
+            entry["speedup_vs_baseline_generator"] = base_gen / warm
+        apps[app] = entry
+        print(f"  {app:6s} gen={gen:.3f}s warm={warm:.3f}s", file=sys.stderr)
+
+    def _geomean(key):
+        vals = [a[key] for a in apps.values() if key in a]
+        if not vals:
+            return None
+        return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+    out = {"apps": apps,
+           "geomean_speedup_warm_vs_generator":
+               _geomean("speedup_warm_vs_generator")}
+    vs_base = _geomean("speedup_vs_baseline_generator")
+    if vs_base is not None:
+        out["geomean_speedup_vs_baseline_generator"] = vs_base
+    return out
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--scale", type=float, default=0.1)
     ap.add_argument("--jobs", type=int, default=None)
     ap.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"))
+    ap.add_argument(
+        "--baseline", type=Path, default=None,
+        help="older BENCH_kernel.json to compute pair speedups against",
+    )
+    ap.add_argument(
+        "--baseline-tree", type=Path, default=None,
+        help="older checkout (e.g. a git worktree of the pre-trace "
+             "revision) whose generator path is re-measured interleaved "
+             "with this tree's pair runs; overrides --baseline timings",
+    )
     args = ap.parse_args()
     jobs = args.jobs if args.jobs is not None else default_jobs()
+    baseline = (
+        json.loads(args.baseline.read_text()) if args.baseline else None
+    )
 
     import tempfile
 
@@ -127,6 +284,18 @@ def main() -> int:
           file=sys.stderr)
     with tempfile.TemporaryDirectory() as tmp:
         report["grid"] = bench_grid(args.scale, jobs, Path(tmp))
+    print("benchmarking trace compilation (cold vs warm) ...", file=sys.stderr)
+    report["trace"] = bench_traces(args.scale)
+    print("benchmarking standard+NWCache pairs (generator vs warm trace) ...",
+          file=sys.stderr)
+    report["pair"] = bench_pairs(args.scale, baseline, args.baseline_tree)
+    if args.baseline_tree is not None:
+        report["baseline_source"] = (
+            "generator path re-measured from an older checkout, "
+            "interleaved with this tree's runs"
+        )
+    elif baseline is not None:
+        report["baseline_generated_unix"] = baseline.get("generated_unix")
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     k, g = report["kernel"], report["grid"]
@@ -139,6 +308,12 @@ def main() -> int:
           f"({g['parallel_speedup']:.2f}x)")
     print(f"grid warm cache    : {g['warm_cache_seconds']:.3f}s "
           f"({g['warm_cache_fraction_of_serial']:.1%} of serial)")
+    p = report["pair"]
+    print(f"pair warm/generator: x{p['geomean_speedup_warm_vs_generator']:.2f} "
+          "geomean")
+    if "geomean_speedup_vs_baseline_generator" in p:
+        print("pair vs baseline   : "
+              f"x{p['geomean_speedup_vs_baseline_generator']:.2f} geomean")
     print(f"wrote {args.out}")
     return 0
 

@@ -72,6 +72,13 @@ class Workload(abc.ABC):
     #: short name, e.g. "sor" (set by subclasses)
     name: str = ""
 
+    #: whether :mod:`repro.core.trace` may compile this workload's
+    #: streams once and replay them (requires streams that are a pure
+    #: function of (n_nodes, page_base, the workload's own named RNG
+    #: substreams)); set False on ad-hoc workloads that read shared
+    #: substreams or external state
+    trace_compilable: bool = True
+
     def __init__(self, page_size: int = 4096, scale: float = 1.0) -> None:
         if page_size < 512:
             raise ValueError(f"implausible page size {page_size}")

@@ -14,6 +14,12 @@ Commands
     Regenerate paper figure N (3 or 4).
 ``batch``
     Run a grid of experiments through the parallel batch runner.
+``trace compile APP``
+    Compile an app's reference streams into the on-disk trace cache.
+
+``run`` accepts ``--profile [PATH]`` (cProfile the run for hot-path
+triage) and ``--no-compiled-traces`` (use live driver generators; the
+compiled trace path is trajectory-neutral, so results are identical).
 
 Grid-running commands (``compare``, ``table``, ``figure``, ``sweep``,
 ``batch``) accept ``--jobs N`` (worker processes; default = CPU count)
@@ -88,6 +94,29 @@ def cmd_describe(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            rc = _run_once(args)
+        finally:
+            profiler.disable()
+            if args.profile == "-":
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(30)
+            else:
+                profiler.dump_stats(args.profile)
+                print(f"wrote profile to {args.profile} "
+                      "(inspect with python -m pstats)", file=sys.stderr)
+        return rc
+    return _run_once(args)
+
+
+def _run_once(args: argparse.Namespace) -> int:
+    compiled = False if args.no_compiled_traces else None
     if args.report:
         from repro.core.inspect import machine_report
         from repro.core.machine import Machine
@@ -98,7 +127,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             min_free=BEST_MIN_FREE[(args.system, args.prefetch)],
             audit=args.audit,
         )
-        machine = Machine(cfg, system=args.system, prefetch=args.prefetch)
+        machine = Machine(cfg, system=args.system, prefetch=args.prefetch,
+                          compiled_traces=compiled)
         app = make_app(args.app, scale=linear_scale(args.app, args.scale))
         res = machine.run(app)
         print(_summary(res))
@@ -107,7 +137,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         res = run_experiment(
             args.app, args.system, args.prefetch, data_scale=args.scale,
-            audit=args.audit or None,
+            audit=args.audit or None, compiled_traces=compiled,
         )
         print(_summary(res))
     if args.json:
@@ -252,6 +282,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
                          seed=args.seed)
         print(f"recorded {n} items from {args.app} to {args.path}")
         return 0
+    if args.trace_command == "compile":
+        from repro.core.trace import get_trace, trace_key
+
+        app = make_app(args.app, scale=linear_scale(args.app, args.scale))
+        trace = get_trace(app, args.nodes, args.seed)
+        key = trace_key(app, args.nodes, args.seed)
+        print(f"compiled {args.app}: {trace.n_items} items on "
+              f"{trace.n_nodes} processors, "
+              f"{len(trace.barrier_keys)} distinct barriers, "
+              f"{trace.nbytes() / 1024:.1f} KiB of arrays")
+        print(f"trace key {key}")
+        return 0
     # replay
     wl = TraceWorkload(args.path)
     res = run_experiment(wl, args.system, args.prefetch, data_scale=args.scale)
@@ -280,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the result as JSON to PATH")
     p.add_argument("--audit", action="store_true",
                    help="run with the invariant auditor enabled")
+    p.add_argument("--profile", nargs="?", const="-", metavar="PATH",
+                   help="profile the run with cProfile; print the top of "
+                        "the cumulative table (or dump stats to PATH)")
+    p.add_argument("--no-compiled-traces", action="store_true",
+                   help="feed CPUs from live driver generators instead of "
+                        "the compiled reference trace (results identical)")
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -329,7 +377,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_opts(p)
     p.set_defaults(func=cmd_batch)
 
-    p = sub.add_parser("trace", help="record / replay workload traces")
+    p = sub.add_parser(
+        "trace", help="record / compile / replay workload traces"
+    )
     tsub = p.add_subparsers(dest="trace_command", required=True)
     pr = tsub.add_parser("record")
     pr.add_argument("app", choices=APP_NAMES)
@@ -338,6 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=0)
     _add_common(pr)
     pr.set_defaults(func=cmd_trace)
+    pc = tsub.add_parser(
+        "compile", help="compile an app into the on-disk trace cache"
+    )
+    pc.add_argument("app", choices=APP_NAMES)
+    pc.add_argument("--nodes", type=int, default=8)
+    pc.add_argument("--seed", type=int, default=1999,
+                    help="master seed (default: the experiment seed)")
+    _add_common(pc)
+    pc.set_defaults(func=cmd_trace)
     pp = tsub.add_parser("replay")
     pp.add_argument("path")
     pp.add_argument("--system", choices=("standard", "nwcache"),

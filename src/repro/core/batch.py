@@ -56,6 +56,9 @@ class ExperimentSpec:
     drain_policy: str = "most-loaded"
     cfg: Optional[SimConfig] = None
     audit: bool = False
+    #: trace-fed CPU fast path (trajectory-neutral, so deliberately NOT
+    #: part of key(): generator and compiled runs are interchangeable)
+    compiled_traces: Optional[bool] = None
     app_params: Dict[str, Any] = field(default_factory=dict)
 
     def resolved_config(self) -> SimConfig:
@@ -103,6 +106,7 @@ class ExperimentSpec:
             cfg=self.cfg,
             drain_policy=self.drain_policy,
             audit=self.audit or None,
+            compiled_traces=self.compiled_traces,
             **self.app_params,
         )
 

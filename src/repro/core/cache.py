@@ -56,7 +56,7 @@ def _sort_token(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def _canonical(obj: Any) -> Any:
+def canonical(obj: Any) -> Any:
     """Reduce ``obj`` to deterministic JSON-encodable primitives.
 
     Key-order of dicts and element-order of sets must not leak into the
@@ -64,21 +64,28 @@ def _canonical(obj: Any) -> Any:
     ``PYTHONHASHSEED``.  Dicts are encoded as sorted ``[key, value]``
     pair lists (plain ``sorted(obj.items())`` raises on mixed-type keys,
     and coercing keys to ``str`` would collide ``1`` with ``"1"``).
+
+    Shared by :func:`cache_key` and the trace-key machinery in
+    :mod:`repro.core.trace`.
     """
     if isinstance(obj, dict):
-        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
         items.sort(key=lambda kv: _sort_token(kv[0]))
         return {"__dict__": items}
     if isinstance(obj, (set, frozenset)):
-        return {"__set__": sorted((_canonical(v) for v in obj), key=_sort_token)}
+        return {"__set__": sorted((canonical(v) for v in obj), key=_sort_token)}
     if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
+        return [canonical(v) for v in obj]
     if isinstance(obj, (str, int, bool)) or obj is None:
         return obj
     if isinstance(obj, float):
         # repr() round-trips floats exactly; avoids json float formatting drift
         return repr(obj)
     return repr(obj)
+
+
+#: backwards-compatible alias (pre-trace-compiler name)
+_canonical = canonical
 
 
 def cache_key(

@@ -14,6 +14,7 @@ measurements the paper's tables report.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -39,6 +40,15 @@ from repro.sim import Engine, RngRegistry, Tally
 
 SYSTEM_STANDARD = "standard"
 SYSTEM_NWCACHE = "nwcache"
+
+
+def _compiled_traces_default() -> bool:
+    """Compiled traces are on unless ``NWCACHE_COMPILED_TRACES=0``."""
+    import os
+
+    return os.environ.get("NWCACHE_COMPILED_TRACES", "").lower() not in (
+        "0", "false", "no",
+    )
 
 
 def io_node_ids(cfg: SimConfig) -> List[int]:
@@ -91,11 +101,15 @@ class Machine:
         system: str = SYSTEM_STANDARD,
         prefetch: str = "optimal",
         drain_policy: str = DRAIN_MOST_LOADED,
+        compiled_traces: Optional[bool] = None,
     ) -> None:
         if system not in (SYSTEM_STANDARD, SYSTEM_NWCACHE):
             raise ValueError(f"unknown system {system!r}")
         self.cfg = cfg
         self.system = system
+        if compiled_traces is None:
+            compiled_traces = _compiled_traces_default()
+        self.compiled_traces = bool(compiled_traces)
         self.prefetch = PrefetchMode(prefetch)
         self.engine = Engine()
         self.rng = RngRegistry(cfg.seed)
@@ -210,6 +224,24 @@ class Machine:
         self.vm.register_pages(pages)
         return pages
 
+    def _request_trace(self, app: Workload):
+        """The app's compiled trace, or None to use the generator path.
+
+        Ad-hoc workloads can opt out with ``trace_compilable = False``
+        (e.g. streams that depend on shared RNG substreams or machine
+        state); ``NWCACHE_COMPILED_TRACES=0`` or
+        ``Machine(..., compiled_traces=False)`` disables the path
+        machine-wide.  The compiled path is trajectory-neutral, so the
+        choice never changes results.
+        """
+        if not self.compiled_traces:
+            return None
+        if not getattr(app, "trace_compilable", True):
+            return None
+        from repro.core.trace import get_trace
+
+        return get_trace(app, self.cfg.n_nodes, self.cfg.seed)
+
     def run(self, app: Workload, until: Optional[float] = None) -> RunResult:
         """Execute ``app`` to completion and collect results."""
         if app.page_size != self.cfg.page_size:
@@ -217,14 +249,36 @@ class Machine:
                 f"app page size {app.page_size} != machine {self.cfg.page_size}"
             )
         pages = self.load(app)
-        streams = app.streams(self.cfg.n_nodes, pages.start, self.rng)
-        if len(streams) != self.cfg.n_nodes:
-            raise ValueError("app produced wrong number of streams")
-        procs = [
-            self.engine.process(cpu.run(stream))
-            for cpu, stream in zip(self.cpus, streams)
-        ]
-        self.engine.run(until=until)
+        trace = self._request_trace(app)
+        if trace is not None:
+            # Compiled fast path: replay the workload's array-backed
+            # trace (shared via repro.core.trace across the
+            # standard/NWCache pair and every sweep/batch point).
+            procs = [
+                self.engine.process(cpu.run_compiled(trace, n, pages.start))
+                for n, cpu in enumerate(self.cpus)
+            ]
+        else:
+            streams = app.streams(self.cfg.n_nodes, pages.start, self.rng)
+            if len(streams) != self.cfg.n_nodes:
+                raise ValueError("app produced wrong number of streams")
+            procs = [
+                self.engine.process(cpu.run(stream))
+                for cpu, stream in zip(self.cpus, streams)
+            ]
+        # The drain loop allocates hundreds of thousands of short-lived
+        # events that reference counting alone reclaims; pausing the
+        # cyclic collector avoids repeated full-heap scans mid-run.
+        # Finished processes *can* sit in cycles with their generator
+        # frames — those are reclaimed after the collector resumes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.engine.run(until=until)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         unfinished = [c.node for c in self.cpus if c.finished_at is None]
         if unfinished and until is None:
             raise RuntimeError(

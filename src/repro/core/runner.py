@@ -101,6 +101,7 @@ def run_experiment(
     cfg: Optional[SimConfig] = None,
     drain_policy: str = "most-loaded",
     audit: Optional[bool] = None,
+    compiled_traces: Optional[bool] = None,
     **app_params: Any,
 ) -> RunResult:
     """Run one (application, system, prefetch) experiment.
@@ -125,6 +126,11 @@ def run_experiment(
         Run the machine with the invariant auditor installed
         (:mod:`repro.core.auditing`).  ``None`` defers to ``cfg.audit``
         or the ``NWCACHE_AUDIT`` environment variable.
+    compiled_traces:
+        Feed the CPUs from a compiled reference trace
+        (:mod:`repro.core.trace`) instead of live driver generators.
+        Trajectory-neutral; ``None`` defers to the
+        ``NWCACHE_COMPILED_TRACES`` environment default (on).
     """
     if audit is None:
         audit = _audit_default()
@@ -151,7 +157,13 @@ def run_experiment(
             page_size=cfg.page_size,
             **app_params,
         )
-    machine = Machine(cfg, system=system, prefetch=prefetch, drain_policy=drain_policy)
+    machine = Machine(
+        cfg,
+        system=system,
+        prefetch=prefetch,
+        drain_policy=drain_policy,
+        compiled_traces=compiled_traces,
+    )
     return machine.run(workload)
 
 

@@ -31,7 +31,7 @@ from repro.config import SimConfig
 from repro.disk.disk import PRIO_DEMAND, PRIO_PREFETCH, PRIO_WRITEBACK, Disk
 from repro.disk.filesystem import FileSystem
 from repro.sim import Counter, Engine, Tally
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 
 class PrefetchMode(str, enum.Enum):
@@ -173,6 +173,19 @@ class DiskController:
             raise RuntimeError(f"{self.name}: drain placed a page with no room")
 
     # ------------------------------------------------------------- reads
+    def note_optimal_read(self, page: int) -> str:
+        """Bookkeeping for an OPTIMAL-mode read (see :meth:`read`).
+
+        Under idealized prefetching a read never blocks on the disk, so
+        the whole service is the controller-overhead timeout plus this
+        cache touch.  The caller pays the timeout itself and calls this,
+        skipping the :meth:`read` delegate generator on the fault path.
+        """
+        if page in self._slots:
+            self._slots.move_to_end(page)
+        self.stats.add("read_hits")
+        return "hit"
+
     def read(self, page: int) -> Generator[Event, Any, str]:
         """Service a page read; returns ``"hit"`` or ``"miss"``.
 
@@ -180,14 +193,11 @@ class DiskController:
         bus, network, memory bus); this method models cache lookup, the
         disk operation on a miss, and naive prefetching.
         """
-        yield self.engine.timeout(self.cfg.controller_overhead_pcycles)
+        yield Timeout(self.engine, self.cfg.controller_overhead_pcycles)
         if self.prefetch is PrefetchMode.OPTIMAL:
             # Idealized prefetching: the page is always already cached
             # (read "in the background of page read requests").
-            if page in self._slots:
-                self._slots.move_to_end(page)
-            self.stats.add("read_hits")
-            return "hit"
+            return self.note_optimal_read(page)
         streaming = False
         if self.prefetch is PrefetchMode.STREAM:
             streaming = (

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.config import SimConfig
 from repro.sim import Engine, Resource, Tally
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 #: request priorities on the disk arm
 PRIO_DEMAND = 0
@@ -92,7 +92,7 @@ class Disk:
             rotation = float(self.rng.uniform(0.0, 2.0 * self.cfg.rotational_pcycles))
             xfer = self.transfer_time(npages)
             self.current_cylinder = cyl
-            yield self.engine.timeout(seek + rotation + xfer)
+            yield Timeout(self.engine, seek + rotation + xfer)
             self.n_ops += 1
             self.pages_moved += npages
             self.service.record(seek + rotation + xfer)

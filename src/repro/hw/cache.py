@@ -36,7 +36,14 @@ class CacheModel:
         self.cfg = cfg
         self.name = name
         self._resident: "OrderedDict[int, None]" = OrderedDict()
-        self.stats = Counter()
+        self._hits = 0
+        self._misses = 0
+        # visit() runs once per stream item; hoist the config scalars out
+        # of the per-visit attribute chains.
+        self._cycles_per_access = cfg.cpu_cycles_per_access
+        self._window = cfg.l2_resident_pages
+        self._cold_miss_bytes = cfg.cold_miss_bytes
+        self._page_size = cfg.page_size
 
     def __contains__(self, page: int) -> bool:
         return page in self._resident
@@ -49,20 +56,22 @@ class CacheModel:
         """
         if n_accesses < 0:
             raise ValueError(f"negative access count: {n_accesses}")
-        busy = n_accesses * self.cfg.cpu_cycles_per_access
-        if page in self._resident:
-            self._resident.move_to_end(page)
-            self.stats.add("hits")
+        busy = n_accesses * self._cycles_per_access
+        resident = self._resident
+        if page in resident:
+            resident.move_to_end(page)
+            self._hits += 1
             return busy, 0
-        self.stats.add("misses")
-        self._resident[page] = None
-        while len(self._resident) > self.cfg.l2_resident_pages:
-            self._resident.popitem(last=False)
+        self._misses += 1
+        resident[page] = None
+        while len(resident) > self._window:
+            resident.popitem(last=False)
+        page_size = self._page_size
         miss_bytes = max(
-            self.cfg.cold_miss_bytes,
-            min(self.cfg.page_size, n_accesses * BLOCK_BYTES),
+            self._cold_miss_bytes,
+            min(page_size, n_accesses * BLOCK_BYTES),
         )
-        miss_bytes = min(miss_bytes, self.cfg.page_size)
+        miss_bytes = min(miss_bytes, page_size)
         return busy, miss_bytes
 
     def invalidate(self, page: int) -> None:
@@ -70,7 +79,17 @@ class CacheModel:
         self._resident.pop(page, None)
 
     @property
+    def stats(self) -> Counter:
+        """Counter view of the hit/miss counts."""
+        c = Counter()
+        if self._hits:
+            c.add("hits", self._hits)
+        if self._misses:
+            c.add("misses", self._misses)
+        return c
+
+    @property
     def hit_rate(self) -> float:
         """Resident-window hit fraction so far."""
-        total = self.stats["hits"] + self.stats["misses"]
-        return self.stats["hits"] / total if total else 0.0
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0

@@ -28,7 +28,7 @@ from repro.hw.cache import CacheModel
 from repro.hw.network import MeshNetwork
 from repro.osim.sync import BarrierRegistry
 from repro.sim import BandwidthPipe, Counter, Engine
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 #: pending time is flushed at least this often (pcycles)
 FLUSH_QUANTUM_PCYCLES = 20_000.0
@@ -62,7 +62,9 @@ class Cpu:
         self.acct = TimeAccount()
         self.stats = Counter()
         self._pending: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self._pending_sum = 0.0  #: running total of self._pending
         self._stolen: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self._stolen_sum = 0.0  #: running total of self._stolen
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
@@ -70,28 +72,39 @@ class Cpu:
     def add_pending(self, category: str, cycles: float) -> None:
         """Queue ``cycles`` of ``category`` time to materialize later."""
         self._pending[category] += cycles
+        self._pending_sum += cycles
 
     def steal(self, category: str, cycles: float) -> None:
         """Another component (shootdown) consumes this CPU's cycles."""
         self._stolen[category] += cycles
+        self._stolen_sum += cycles
 
     def _pending_total(self) -> float:
-        return sum(self._pending.values())
+        # Maintained incrementally: summing the dict per visit was the
+        # hottest per-item cost.  The sum resets to exactly 0.0 at every
+        # flush, so float drift cannot accumulate across quanta.
+        return self._pending_sum
 
     def _flush(self) -> Generator[Event, Any, None]:
         """Materialize pending time as one timeout and charge categories."""
-        for cat, v in self._stolen.items():
-            if v:
-                self._pending[cat] += v
-                self._stolen[cat] = 0.0
-        total = self._pending_total()
+        if self._stolen_sum:
+            # Only walk the stolen dict when a shootdown actually charged
+            # us since the last flush — this runs once per flush.
+            for cat, v in self._stolen.items():
+                if v:
+                    self._pending[cat] += v
+                    self._pending_sum += v
+                    self._stolen[cat] = 0.0
+            self._stolen_sum = 0.0
+        total = self._pending_sum
         if total > 0.0:
-            yield self.engine.timeout(total)
+            yield Timeout(self.engine, total)
             for cat in CATEGORIES:
                 v = self._pending[cat]
                 if v:
                     self.acct.charge(cat, v)
                     self._pending[cat] = 0.0
+            self._pending_sum = 0.0
 
     # -- execution ---------------------------------------------------------
     def run(self, stream: Iterable[Item]) -> Generator[Event, Any, None]:
@@ -112,6 +125,189 @@ class Cpu:
                 raise ValueError(f"unknown stream item {item!r}")
         yield from self._flush()
         self.finished_at = self.engine.now
+
+    def run_compiled(
+        self, trace: Any, proc: int, page_base: int
+    ) -> Generator[Event, Any, None]:
+        """Trace-fed fast path: execute a compiled trace's arrays directly.
+
+        Semantically identical to :meth:`run` over the decoded item
+        stream — same yields in the same order, same charges, same final
+        counters — but with the per-item work inlined: no driver
+        generator to resume, no ``_visit`` sub-generator per item, no
+        per-item counter updates (visit/barrier stats are accumulated in
+        locals and added once at the end; nothing observes them mid-run).
+        The ``self._pending`` dict is still updated item by item, because
+        the audit invariants inspect it between events.
+        """
+        from repro.core.trace import KIND_VISIT
+
+        self.started_at = self.engine.now
+        # Cached bulk decode to plain Python scalars (see
+        # CompiledTrace.columns): bit-identical arithmetic, paid once per
+        # trace rather than once per run.
+        kinds, page_col, read_col, write_col, think_col = trace.columns(proc)
+        barrier_keys = trace.barrier_keys
+        engine = self.engine
+        vm = self.vm
+        fast_access = vm.fast_access
+        resolve = vm.resolve
+        cache_visit = self.cache.visit
+        barrier_get = self.barriers.get
+        acct = self.acct
+        acct_charge = acct.charge
+        acct_times = acct.times
+        pending = self._pending
+        stolen = self._stolen
+        mem_buses = self.mem_buses
+        network = self.network
+        net_route_cache = network._route_cache
+        net_link_rate = network._link_rate
+        node = self.node
+        remote_latency = self.cfg.remote_latency_pcycles
+        n_visits = n_slow = n_remote = n_barriers = 0
+        # The ``_flush()`` blocks below are :meth:`_flush`, inlined: a
+        # flush precedes every contended interaction, so delegating to the
+        # sub-generator (one allocation + double dispatch per flush) was a
+        # measurable share of the per-item cost.  The logic and float
+        # arithmetic are identical; ``self._pending_sum`` and the dicts
+        # stay current at every yield for the audit invariants.
+        #
+        # zip instead of indexing: one tuple unpack per item replaces five
+        # list subscripts (for barriers, ``pg`` carries the key index).
+        for kind, pg, n_reads, n_writes, think in zip(
+            kinds, page_col, read_col, write_col, think_col
+        ):
+            if kind == KIND_VISIT:
+                n_visits += 1
+                page = page_base + pg
+                is_write = n_writes > 0
+                home = fast_access(node, page, is_write)
+                if home is None:
+                    # Page fault (or wait on a page in motion): slow path.
+                    if self._stolen_sum:  # _flush(), inlined
+                        for cat, sv in stolen.items():
+                            if sv:
+                                pending[cat] += sv
+                                self._pending_sum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                    total = self._pending_sum
+                    if total > 0.0:
+                        yield Timeout(engine, total)
+                        for cat, pv in pending.items():
+                            if pv:
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        self._pending_sum = 0.0
+                    home = yield from resolve(node, page, is_write, acct)
+                    n_slow += 1
+                busy, miss_bytes = cache_visit(page, n_reads + n_writes)
+                v = busy + think
+                pending["other"] += v
+                self._pending_sum += v
+                if miss_bytes:
+                    if self._stolen_sum:  # _flush(), inlined
+                        for cat, sv in stolen.items():
+                            if sv:
+                                pending[cat] += sv
+                                self._pending_sum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                    total = self._pending_sum
+                    if total > 0.0:
+                        yield Timeout(engine, total)
+                        for cat, pv in pending.items():
+                            if pv:
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        self._pending_sum = 0.0
+                    t0 = engine._now
+                    # BandwidthPipe.transfer, inlined: the same request /
+                    # timeout / release sequence without allocating a
+                    # delegate generator per miss (identical events).
+                    bus = mem_buses[home]
+                    req = bus._server.request(0)
+                    yield req
+                    try:
+                        yield Timeout(
+                            engine, bus.overhead + miss_bytes / bus.rate
+                        )
+                        bus.bytes_transferred += miss_bytes
+                    finally:
+                        bus._server.release(req)
+                    if home != node:
+                        # MeshNetwork.transfer, inlined likewise (home !=
+                        # node, so the route always has links to hold).
+                        t0n = engine._now
+                        ent = net_route_cache.get((home, node))
+                        if ent is None:
+                            ent = network._route_entry(home, node)
+                        links, fixed, _h = ent
+                        requests = []
+                        try:
+                            for res in links:
+                                nreq = res.request(0)
+                                requests.append(nreq)
+                                yield nreq
+                            yield Timeout(
+                                engine, fixed + miss_bytes / net_link_rate
+                            )
+                        finally:
+                            for res, nreq in zip(links, requests):
+                                res.release(nreq)
+                        network.bytes_sent += miss_bytes
+                        network.latency.record(engine._now - t0n)
+                        yield Timeout(engine, remote_latency)
+                        n_remote += 1
+                    acct_charge("other", engine._now - t0)
+                if self._pending_sum >= FLUSH_QUANTUM_PCYCLES:
+                    if self._stolen_sum:  # _flush(), inlined
+                        for cat, sv in stolen.items():
+                            if sv:
+                                pending[cat] += sv
+                                self._pending_sum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                    total = self._pending_sum
+                    if total > 0.0:
+                        yield Timeout(engine, total)
+                        for cat, pv in pending.items():
+                            if pv:
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        self._pending_sum = 0.0
+            else:
+                if self._stolen_sum:  # _flush(), inlined
+                    for cat, sv in stolen.items():
+                        if sv:
+                            pending[cat] += sv
+                            self._pending_sum += sv
+                            stolen[cat] = 0.0
+                    self._stolen_sum = 0.0
+                total = self._pending_sum
+                if total > 0.0:
+                    yield Timeout(engine, total)
+                    for cat, pv in pending.items():
+                        if pv:
+                            acct_times[cat] += pv
+                            pending[cat] = 0.0
+                    self._pending_sum = 0.0
+                t0 = engine._now
+                yield barrier_get(barrier_keys[pg]).wait()
+                acct_charge("other", engine._now - t0)
+                n_barriers += 1
+        yield from self._flush()
+        self.finished_at = engine.now
+        stats = self.stats
+        if n_visits:
+            stats.add("visits", n_visits)
+        if n_slow:
+            stats.add("slow_accesses", n_slow)
+        if n_remote:
+            stats.add("remote_fetches", n_remote)
+        if n_barriers:
+            stats.add("barriers", n_barriers)
 
     def _visit(
         self, page: int, n_reads: int, n_writes: int, think: float

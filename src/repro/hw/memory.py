@@ -85,6 +85,21 @@ class FramePool:
             self._low_watermark_event.succeed()
 
     # -- alloc / free ------------------------------------------------------
+    def try_alloc(self) -> Optional[int]:
+        """Non-blocking allocation: a frame, or None when the pool is empty.
+
+        Identical bookkeeping to :meth:`alloc`'s non-stalling branch (a
+        zero-length stall is still recorded); offered separately so the
+        fault path can skip the generator machinery when no stall can
+        happen, which is the overwhelmingly common case.
+        """
+        if not self._free:
+            return None
+        frame = self._free.popleft()
+        self.stall.record(0.0)
+        self._notify_low()
+        return frame
+
     def alloc(self, acct: Optional[TimeAccount] = None) -> Generator[Event, Any, int]:
         """Allocate one frame, stalling (NoFree) while none are free."""
         if not self._free:

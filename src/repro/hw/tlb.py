@@ -11,22 +11,30 @@ the paper's "TLB" execution-time component.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.sim import Counter
 
 
 class Tlb:
-    """An LRU TLB over page numbers."""
+    """An LRU TLB over page numbers.
+
+    ``lookup`` runs once per stream item, so the implementation is a
+    plain insertion-ordered dict (LRU refresh = delete + re-insert) with
+    integer counters; :attr:`stats` materializes a
+    :class:`~repro.sim.Counter` view on demand.
+    """
 
     def __init__(self, n_entries: int, name: str = "") -> None:
         if n_entries < 1:
             raise ValueError(f"need at least one TLB entry, got {n_entries}")
         self.n_entries = n_entries
         self.name = name
-        self._entries: "OrderedDict[int, int]" = OrderedDict()  # page -> home node
-        self.stats = Counter()
+        self._entries: Dict[int, int] = {}  # page -> home node, LRU order
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._shootdowns = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -39,30 +47,31 @@ class Tlb:
 
         A hit refreshes the entry's LRU position.
         """
-        home = self._entries.get(page)
+        entries = self._entries
+        home = entries.get(page)
         if home is None:
-            self.stats.add("misses")
+            self._misses += 1
             return None
-        self._entries.move_to_end(page)
-        self.stats.add("hits")
+        del entries[page]
+        entries[page] = home
+        self._hits += 1
         return home
 
     def insert(self, page: int, home: int) -> None:
         """Install a translation, evicting the LRU entry when full."""
-        if page in self._entries:
-            self._entries.move_to_end(page)
-            self._entries[page] = home
-            return
-        if len(self._entries) >= self.n_entries:
-            self._entries.popitem(last=False)
-            self.stats.add("evictions")
-        self._entries[page] = home
+        entries = self._entries
+        if page in entries:
+            del entries[page]
+        elif len(entries) >= self.n_entries:
+            del entries[next(iter(entries))]
+            self._evictions += 1
+        entries[page] = home
 
     def invalidate(self, page: int) -> bool:
         """Drop the entry for ``page`` (shootdown); True if it was present."""
         if page in self._entries:
             del self._entries[page]
-            self.stats.add("shootdown_invalidations")
+            self._shootdowns += 1
             return True
         return False
 
@@ -71,7 +80,21 @@ class Tlb:
         self._entries.clear()
 
     @property
+    def stats(self) -> Counter:
+        """Counter view of the lookup/eviction/shootdown counts."""
+        c = Counter()
+        if self._hits:
+            c.add("hits", self._hits)
+        if self._misses:
+            c.add("misses", self._misses)
+        if self._evictions:
+            c.add("evictions", self._evictions)
+        if self._shootdowns:
+            c.add("shootdown_invalidations", self._shootdowns)
+        return c
+
+    @property
     def hit_rate(self) -> float:
         """Lookup hit fraction so far."""
-        total = self.stats["hits"] + self.stats["misses"]
-        return self.stats["hits"] / total if total else 0.0
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0

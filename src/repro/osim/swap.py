@@ -30,7 +30,7 @@ from repro.optical.interface import NWCacheInterface
 from repro.optical.ring import OpticalRing
 from repro.osim.pagetable import PageEntry
 from repro.sim import BandwidthPipe, Engine
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 
 class SwapManager:
@@ -84,18 +84,16 @@ class SwapManager:
 
         Returns ``"done"`` (frame reusable) or ``"cancelled"`` (a fault
         reclaimed the page mid-swap; the caller must re-install it).
+
+        Dispatches by returning the path-specific generator rather than
+        delegating with ``yield from``: a swap-out spans many events and
+        every one of them resumes through the whole generator chain, so
+        dropping the wrapper frame is measurable.  Duration/outcome
+        metrics are recorded by the path methods themselves.
         """
-        t0 = self.engine.now
         if self.has_ring:
-            outcome = yield from self._ring_swap_out(node, page, entry)
-        else:
-            outcome = yield from self._standard_swap_out(node, page, entry)
-        if outcome == "done":
-            self.metrics.swapout.record(self.engine.now - t0)
-            self.metrics.counts.add("swapouts")
-        else:
-            self.metrics.counts.add("swap_cancels")
-        return outcome
+            return self._ring_swap_out(node, page, entry)
+        return self._standard_swap_out(node, page, entry)
 
     # -- standard path -----------------------------------------------------------
     def _standard_swap_out(
@@ -103,38 +101,140 @@ class SwapManager:
     ) -> Generator[Event, Any, str]:
         ctrl = self.controller_of(page)
         io_node = self.io_node_of(page)
+        engine = self.engine
+        t0 = engine.now
         psize = self.cfg.page_size
         csize = self.cfg.control_msg_bytes
         wait_total = 0.0
+        # Routes are deterministic, so the two route entries this swap-out
+        # uses are looked up once; the network crossings below are
+        # MeshNetwork.transfer, inlined (identical events without a
+        # delegate generator per message — see cpu.py).
+        net = self.network
+        ent_out = net._route_cache.get((node, io_node))
+        if ent_out is None:
+            ent_out = net._route_entry(node, io_node)
+        ent_back = net._route_cache.get((io_node, node))
+        if ent_back is None:
+            ent_back = net._route_entry(io_node, node)
         while True:
             if entry.reclaim_requested:
+                self.metrics.counts.add("swap_cancels")
                 return "cancelled"
             # The page travels memory bus -> network -> the I/O node's
-            # memory bus -> its I/O bus (Figure 1's data path).
-            yield from self.mem_buses[node].transfer(psize)
+            # memory bus -> its I/O bus (Figure 1's data path).  Bus
+            # crossings are BandwidthPipe.transfer, inlined (identical
+            # events without a delegate generator — see cpu.py).
+            bus = self.mem_buses[node]
+            req = bus._server.request(0)
+            yield req
+            try:
+                yield Timeout(engine, bus.overhead + psize / bus.rate)
+                bus.bytes_transferred += psize
+            finally:
+                bus._server.release(req)
             if io_node != node:
-                yield from self.network.transfer(node, io_node, psize)
-                yield from self.mem_buses[io_node].transfer(psize)
-            yield from self.io_buses[io_node].transfer(psize)
+                t0n = engine._now
+                links, fixed, _h = ent_out
+                requests = []
+                try:
+                    for res in links:
+                        nreq = res.request(0)
+                        requests.append(nreq)
+                        yield nreq
+                    yield Timeout(engine, fixed + psize / net._link_rate)
+                finally:
+                    for res, nreq in zip(links, requests):
+                        res.release(nreq)
+                net.bytes_sent += psize
+                net.latency.record(engine._now - t0n)
+                bus = self.mem_buses[io_node]
+                req = bus._server.request(0)
+                yield req
+                try:
+                    yield Timeout(engine, bus.overhead + psize / bus.rate)
+                    bus.bytes_transferred += psize
+                finally:
+                    bus._server.release(req)
+            bus = self.io_buses[io_node]
+            req = bus._server.request(0)
+            yield req
+            try:
+                yield Timeout(engine, bus.overhead + psize / bus.rate)
+                bus.bytes_transferred += psize
+            finally:
+                bus._server.release(req)
             if ctrl.try_accept_write(page):
                 # ACK back to the swapping node.
-                yield from self.network.transfer(io_node, node, csize)
+                t0n = engine._now
+                links, fixed, _h = ent_back
+                if not links:
+                    yield Timeout(engine, fixed)
+                else:
+                    requests = []
+                    try:
+                        for res in links:
+                            nreq = res.request(0)
+                            requests.append(nreq)
+                            yield nreq
+                        yield Timeout(engine, fixed + csize / net._link_rate)
+                    finally:
+                        for res, nreq in zip(links, requests):
+                            res.release(nreq)
+                net.bytes_sent += csize
+                net.latency.record(engine._now - t0n)
                 break
             # NACK; wait in the controller's FIFO for the OK, then re-send.
             # A reclaim arriving during the wait cancels the swap-out.
             self.metrics.counts.add("swap_nacks")
-            yield from self.network.transfer(io_node, node, csize)
+            t0n = engine._now
+            links, fixed, _h = ent_back
+            if not links:
+                yield Timeout(engine, fixed)
+            else:
+                requests = []
+                try:
+                    for res in links:
+                        nreq = res.request(0)
+                        requests.append(nreq)
+                        yield nreq
+                    yield Timeout(engine, fixed + csize / net._link_rate)
+                finally:
+                    for res, nreq in zip(links, requests):
+                        res.release(nreq)
+            net.bytes_sent += csize
+            net.latency.record(engine._now - t0n)
             t_wait = self.engine.now
             ok = ctrl.wait_for_room()
             reclaim = entry.reclaim_event()
             yield self.engine.any_of([ok, reclaim])
             if entry.reclaim_requested:
                 ctrl.cancel_wait(ok)
+                self.metrics.counts.add("swap_cancels")
                 return "cancelled"
-            yield from self.network.transfer(io_node, node, csize)  # the OK
+            # the OK message
+            t0n = engine._now
+            links, fixed, _h = ent_back
+            if not links:
+                yield Timeout(engine, fixed)
+            else:
+                requests = []
+                try:
+                    for res in links:
+                        nreq = res.request(0)
+                        requests.append(nreq)
+                        yield nreq
+                    yield Timeout(engine, fixed + csize / net._link_rate)
+                finally:
+                    for res, nreq in zip(links, requests):
+                        res.release(nreq)
+            net.bytes_sent += csize
+            net.latency.record(engine._now - t0n)
             wait_total += self.engine.now - t_wait
         self.metrics.swapout_wait.record(wait_total)
         entry.to_absent()
+        self.metrics.swapout.record(engine.now - t0)
+        self.metrics.counts.add("swapouts")
         return "done"
 
     # -- NWCache path ------------------------------------------------------------
@@ -144,9 +244,11 @@ class SwapManager:
         assert self.ring is not None
         channel = self.ring.best_channel(node)
         psize = self.cfg.page_size
+        t0 = self.engine.now
         if entry.reclaim_requested:
+            self.metrics.counts.add("swap_cancels")
             return "cancelled"
-        t_wait = self.engine.now
+        t_wait = t0
         # A swap-out may start only when the node's own channel has room;
         # a reclaim arriving during a channel-full wait cancels it.
         slot = channel.reserve_slot()
@@ -155,14 +257,23 @@ class SwapManager:
             yield self.engine.any_of([slot, reclaim])
             if entry.reclaim_requested:
                 channel.cancel_reservation(slot)
+                self.metrics.counts.add("swap_cancels")
                 return "cancelled"
         else:
             yield slot
         self.metrics.swapout_wait.record(self.engine.now - t_wait)
-        # Page crosses the local memory and I/O buses to the NWC interface.
-        yield from self.mem_buses[node].transfer(psize)
-        yield from self.io_buses[node].transfer(psize)
-        yield self.engine.timeout(channel.insertion_time())
+        # Page crosses the local memory and I/O buses to the NWC interface
+        # (BandwidthPipe.transfer, inlined — identical events).
+        engine = self.engine
+        for bus in (self.mem_buses[node], self.io_buses[node]):
+            req = bus._server.request(0)
+            yield req
+            try:
+                yield Timeout(engine, bus.overhead + psize / bus.rate)
+                bus.bytes_transferred += psize
+            finally:
+                bus._server.release(req)
+        yield Timeout(engine, channel.insertion_time())
         channel.insert(page)
         entry.to_ring(channel=channel.index, swapper=node)
         # Control message to the responsible I/O node's interface.
@@ -171,4 +282,6 @@ class SwapManager:
         if iface is None:
             raise RuntimeError(f"no NWCache interface at I/O node {io_node}")
         iface.notify_swapout(channel=channel.index, page=page, swapper=node)
+        self.metrics.swapout.record(engine.now - t0)
+        self.metrics.counts.add("swapouts")
         return "done"

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.config import SimConfig
+from repro.disk.controller import PrefetchMode
 from repro.disk.filesystem import FileSystem
 from repro.hw.accounting import TimeAccount
 from repro.hw.cache import CacheModel
@@ -37,7 +38,7 @@ from repro.osim.pagetable import PageState, PageTable
 from repro.osim.replacement import ReplacementPolicy, make_policy
 from repro.osim.swap import SwapManager
 from repro.sim import BandwidthPipe, Engine
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 
 class VmSystem:
@@ -78,6 +79,9 @@ class VmSystem:
         self.cpus: List[Any] = []
         self._pending_free = [0] * cfg.n_nodes
         self._daemon_wakes: List[Optional[Event]] = [None] * cfg.n_nodes
+        # Shootdowns broadcast to every node; pre-zip the per-node pairs
+        # so _begin_eviction iterates one list instead of indexing two.
+        self._shootdown_targets = list(zip(self.tlbs, self.caches))
         for iface in swap.interfaces.values():
             iface.ack_callback = self.ring_ack
         for node in range(cfg.n_nodes):
@@ -105,18 +109,31 @@ class VmSystem:
         CPU must then take the slow path (:meth:`resolve`).
         """
         tlb = self.tlbs[node]
-        home = tlb.lookup(page)
-        if home is None:
-            cpu = self.cpus[node]
-            cpu.add_pending("tlb", self.cfg.tlb_miss_pcycles)
-            entry = self.table[page]
-            if entry.state is not PageState.MEMORY:
-                return None
-            home = entry.node
-            assert home is not None
-            tlb.insert(page, home)
+        # Tlb.lookup, inlined (this runs once per stream item): a hit is
+        # a dict get plus the LRU refresh.
+        entries = tlb._entries
+        home = entries.get(page)
+        if home is not None:
+            del entries[page]
+            entries[page] = home
+            tlb._hits += 1
+            # TLB hit: the page-table entry is only needed to mark writes
+            # dirty, so the read hit — the hottest access of all — skips
+            # the table lookup entirely.
+            self.resident[home].touch(page)
+            if is_write:
+                self.table[page].dirty = True
+            return home
+        tlb._misses += 1
+        cpu = self.cpus[node]
+        cpu.add_pending("tlb", self.cfg.tlb_miss_pcycles)
         entry = self.table[page]
-        self._touch(page, home)
+        if entry.state is not PageState.MEMORY:
+            return None
+        home = entry.node
+        assert home is not None
+        tlb.insert(page, home)
+        self.resident[home].touch(page)
         if is_write:
             entry.dirty = True
         return home
@@ -131,6 +148,7 @@ class VmSystem:
     ) -> Generator[Event, Any, int]:
         """Fault loop: make ``page`` resident and return its home node."""
         entry = self.table[page]
+        engine = self.engine
         while True:
             state = entry.state
             if state is PageState.MEMORY:
@@ -143,25 +161,28 @@ class VmSystem:
                 return home
             if state is PageState.INFLIGHT:
                 # Another node is bringing the page in: Transit.
-                t0 = self.engine.now
+                t0 = engine._now
                 yield entry.settle_event()
-                acct.charge("transit", self.engine.now - t0)
+                acct.charge("transit", engine._now - t0)
                 self.metrics.counts.add("transit_waits")
                 continue
             if state is PageState.SWAPPING:
                 # Mid-eviction: the frame still holds valid data, so ask
                 # the swap-out to cancel and re-map (swap-cache reclaim).
                 entry.request_reclaim()
-                t0 = self.engine.now
+                t0 = engine._now
                 yield entry.settle_event()
-                acct.charge("fault", self.engine.now - t0)
+                acct.charge("fault", engine._now - t0)
                 self.metrics.counts.add("reclaim_waits")
                 continue
             # RING or ABSENT: a fetch is needed.  The frame is allocated
             # *before* claiming a ring page: claiming pins the page's slot,
             # and freeing a frame may require an eviction that needs a slot
             # on that same channel, so alloc-after-claim can deadlock.
-            frame = yield from self.pools[node].alloc(acct)  # charges nofree
+            pool = self.pools[node]
+            frame = pool.try_alloc()
+            if frame is None:
+                frame = yield from pool.alloc(acct)  # charges nofree
             self._kick_daemon(node)
             state = entry.state  # may have changed during the stall
             if state is PageState.RING:
@@ -174,15 +195,115 @@ class VmSystem:
                 # The drain already popped it; once the ACK lands the
                 # page is ABSENT but hot in the disk controller cache.
                 self.pools[node].free(frame)
-                t0 = self.engine.now
+                t0 = engine._now
                 yield entry.settle_event()
-                acct.charge("fault", self.engine.now - t0)
+                acct.charge("fault", engine._now - t0)
                 continue
             if state is not PageState.ABSENT:
                 # Another node resolved it while we stalled for the frame.
                 self.pools[node].free(frame)
                 continue
-            yield from self._fault_from_disk(node, page, entry, acct, frame)
+            # -- disk fetch, inlined at its only call site: the fault path
+            # spans many events and each resume walks the generator chain,
+            # so keeping the fetch in this frame (rather than a delegate
+            # generator) drops one frame hop per event on the hottest path.
+            entry.to_inflight(node)
+            t0 = engine._now
+            t_fetch = t0
+            ctrl = self.swap.controller_of(page)
+            io_node = self.swap.io_node_of(page)
+            psize = self.cfg.page_size
+            # Request message to the I/O node, service, data response.  The
+            # data crosses the I/O node's I/O bus *and* memory bus on its
+            # way to the network interface (Figure 1) — the crossing a ring
+            # hit avoids (Section 5, "Contention").  Bus and network
+            # crossings are BandwidthPipe.transfer / MeshNetwork.transfer,
+            # inlined (identical events without a delegate generator).
+            net = self.network
+            nbytes = self.cfg.control_msg_bytes
+            t0n = engine._now
+            ent = net._route_cache.get((node, io_node))
+            if ent is None:
+                ent = net._route_entry(node, io_node)
+            links, fixed, _h = ent
+            if not links:
+                yield Timeout(engine, fixed)
+            else:
+                requests = []
+                try:
+                    for res in links:
+                        nreq = res.request(0)
+                        requests.append(nreq)
+                        yield nreq
+                    yield Timeout(engine, fixed + nbytes / net._link_rate)
+                finally:
+                    for res, nreq in zip(links, requests):
+                        res.release(nreq)
+            net.bytes_sent += nbytes
+            net.latency.record(engine._now - t0n)
+            if ctrl.prefetch is PrefetchMode.OPTIMAL:
+                # Under idealized prefetching the read is the controller
+                # overhead plus a cache touch — no disk, no delegate.
+                yield Timeout(engine, self.cfg.controller_overhead_pcycles)
+                result = ctrl.note_optimal_read(page)
+            else:
+                result = yield from ctrl.read(page)
+            bus = self.io_buses[io_node]
+            req = bus._server.request(0)
+            yield req
+            try:
+                yield Timeout(engine, bus.overhead + psize / bus.rate)
+                bus.bytes_transferred += psize
+            finally:
+                bus._server.release(req)
+            if io_node != node:
+                bus = self.mem_buses[io_node]
+                req = bus._server.request(0)
+                yield req
+                try:
+                    yield Timeout(engine, bus.overhead + psize / bus.rate)
+                    bus.bytes_transferred += psize
+                finally:
+                    bus._server.release(req)
+                # MeshNetwork.transfer, inlined (identical events).
+                t0n = engine._now
+                ent = net._route_cache.get((io_node, node))
+                if ent is None:
+                    ent = net._route_entry(io_node, node)
+                links, fixed, _h = ent
+                requests = []
+                try:
+                    for res in links:
+                        nreq = res.request(0)
+                        requests.append(nreq)
+                        yield nreq
+                    yield Timeout(engine, fixed + psize / net._link_rate)
+                finally:
+                    for res, nreq in zip(links, requests):
+                        res.release(nreq)
+                net.bytes_sent += psize
+                net.latency.record(engine._now - t0n)
+            bus = self.mem_buses[node]
+            req = bus._server.request(0)
+            yield req
+            try:
+                yield Timeout(engine, bus.overhead + psize / bus.rate)
+                bus.bytes_transferred += psize
+            finally:
+                bus._server.release(req)
+            entry.to_memory(node, frame, dirty=False)
+            self.resident[node].insert(page)
+            now = engine._now
+            latency = now - t_fetch
+            acct.charge("fault", latency)
+            self.metrics.counts.add("faults")
+            self.metrics.fault_latency.record(now - t0)
+            if result == "hit":
+                self.metrics.counts.add("disk_cache_hits")
+                self.metrics.disk_hit_latency.record(latency)
+            else:
+                self.metrics.counts.add("disk_reads")
+            self._kick_daemon(node)
 
     # -- ring (victim cache) fetch ------------------------------------------------
     def _fault_from_ring(
@@ -191,56 +312,33 @@ class VmSystem:
         assert self.swap.ring is not None
         channel = self.swap.ring.channels[entry.ring_channel]
         entry.to_inflight(node)
-        t0 = self.engine.now
-        t_fetch = self.engine.now
+        engine = self.engine
+        t0 = engine._now
+        t_fetch = t0
+        psize = self.cfg.page_size
         # Snoop the page off the cache channel, then cross the local
         # I/O and memory buses into the frame.  No network, no I/O node.
-        yield self.engine.timeout(channel.read_delay(page))
-        yield from self.io_buses[node].transfer(self.cfg.page_size)
-        yield from self.mem_buses[node].transfer(self.cfg.page_size)
+        # The bus crossings are BandwidthPipe.transfer, inlined (identical
+        # events without a delegate generator per crossing — see cpu.py).
+        yield Timeout(engine, channel.read_delay(page))
+        for bus in (self.io_buses[node], self.mem_buses[node]):
+            req = bus._server.request(0)
+            yield req
+            try:
+                yield Timeout(engine, bus.overhead + psize / bus.rate)
+                bus.bytes_transferred += psize
+            finally:
+                bus._server.release(req)
         channel.remove(page)
         # The disk copy is stale, so the page re-enters memory dirty.
         entry.to_memory(node, frame, dirty=True)
         self.resident[node].insert(page)
-        acct.charge("fault", self.engine.now - t_fetch)
+        now = engine._now
+        acct.charge("fault", now - t_fetch)
         self.metrics.counts.add("faults")
         self.metrics.counts.add("ring_hits")
-        self.metrics.ring_hit_latency.record(self.engine.now - t0)
-        self.metrics.fault_latency.record(self.engine.now - t0)
-        self._kick_daemon(node)
-
-    # -- disk fetch ------------------------------------------------------------
-    def _fault_from_disk(
-        self, node: int, page: int, entry: Any, acct: TimeAccount, frame: int
-    ) -> Generator[Event, Any, None]:
-        entry.to_inflight(node)
-        t0 = self.engine.now
-        t_fetch = self.engine.now
-        ctrl = self.swap.controller_of(page)
-        io_node = self.swap.io_node_of(page)
-        psize = self.cfg.page_size
-        # Request message to the I/O node, service, data response.  The
-        # data crosses the I/O node's I/O bus *and* memory bus on its way
-        # to the network interface (Figure 1) — the crossing a ring hit
-        # avoids (Section 5, "Contention").
-        yield from self.network.transfer(node, io_node, self.cfg.control_msg_bytes)
-        result = yield from ctrl.read(page)
-        yield from self.io_buses[io_node].transfer(psize)
-        if io_node != node:
-            yield from self.mem_buses[io_node].transfer(psize)
-            yield from self.network.transfer(io_node, node, psize)
-        yield from self.mem_buses[node].transfer(psize)
-        entry.to_memory(node, frame, dirty=False)
-        self.resident[node].insert(page)
-        acct.charge("fault", self.engine.now - t_fetch)
-        latency = self.engine.now - t_fetch
-        self.metrics.counts.add("faults")
-        self.metrics.fault_latency.record(self.engine.now - t0)
-        if result == "hit":
-            self.metrics.counts.add("disk_cache_hits")
-            self.metrics.disk_hit_latency.record(latency)
-        else:
-            self.metrics.counts.add("disk_reads")
+        self.metrics.ring_hit_latency.record(now - t0)
+        self.metrics.fault_latency.record(now - t0)
         self._kick_daemon(node)
 
     # ------------------------------------------------------------------ drain ACK
@@ -285,19 +383,25 @@ class VmSystem:
         entry.to_swapping()
         # TLB shootdown: drop translations and cached residency everywhere;
         # the initiator pays the shootdown, everyone else an interrupt.
-        for m in range(self.cfg.n_nodes):
-            self.tlbs[m].invalidate(page)
-            self.caches[m].invalidate(page)
+        for tlb, cache in self._shootdown_targets:
+            # Tlb.invalidate / CacheModel.invalidate, inlined: the
+            # shootdown walks every processor for every eviction.
+            e = tlb._entries
+            if page in e:
+                del e[page]
+                tlb._shootdowns += 1
+            cache._resident.pop(page, None)
         if self.cpus:
+            interrupt = self.cfg.interrupt_pcycles
             self.cpus[node].steal("tlb", self.cfg.tlb_shootdown_pcycles)
-            for m in range(self.cfg.n_nodes):
+            for m, cpu in enumerate(self.cpus):
                 if m != node:
-                    self.cpus[m].steal("tlb", self.cfg.interrupt_pcycles)
+                    cpu.steal("tlb", interrupt)
         self._pending_free[node] += 1
         self.engine.process(self._evict(node, page, entry))
 
     def _evict(self, node: int, page: int, entry: Any) -> Generator[Event, Any, None]:
-        yield self.engine.timeout(self.cfg.tlb_shootdown_pcycles)
+        yield Timeout(self.engine, self.cfg.tlb_shootdown_pcycles)
         frame = entry.frame
         assert frame is not None
         outcome = "done"

@@ -184,8 +184,13 @@ class Engine:
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True
-                    for cb in callbacks:
-                        cb(event)
+                    # Nearly every event carries exactly one callback (the
+                    # waiting process's resume); skip the loop setup then.
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
                     if not event._ok and not event._defused:
                         raise event.value
             finally:
@@ -202,8 +207,11 @@ class Engine:
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True
-                    for cb in callbacks:
-                        cb(event)
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
                     if not event._ok and not event._defused:
                         raise event.value
             finally:

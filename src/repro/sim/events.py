@@ -15,12 +15,18 @@ NWCache models need:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
 
 _PENDING = object()  #: sentinel: event not yet triggered
+
+#: Engine.NORMAL, duplicated here because the engine imports this module.
+#: The hottest trigger paths below push onto the engine queue directly
+#: (inlined Engine._schedule) instead of paying a method call per event.
+_NORMAL = 1
 
 
 class Event:
@@ -81,7 +87,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.engine._schedule(self)
+        engine = self.engine
+        heappush(engine._queue, (engine._now, _NORMAL, next(engine._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,11 +119,19 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__: timeouts are the most common event in
+        # a run (every flush, transfer, and latency charge makes one), so
+        # each slot is written exactly once and the super() call skipped.
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        engine._schedule(self, delay=delay)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        heappush(
+            engine._queue, (engine._now + delay, _NORMAL, next(engine._eid), self)
+        )
 
 
 class _Condition(Event):

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event
+from heapq import heappush
+
+from repro.sim.events import _NORMAL, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -40,7 +42,7 @@ def _kick(
     kick._ok = ok
     kick._processed = False
     kick._defused = defused
-    engine._schedule(kick)
+    heappush(engine._queue, (engine._now, _NORMAL, next(engine._eid), kick))
 
 
 class Interrupt(Exception):
@@ -58,7 +60,7 @@ class Interrupt(Exception):
 class Process(Event):
     """A running simulation process (also its own completion event)."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(
         self,
@@ -70,6 +72,10 @@ class Process(Event):
             raise TypeError(f"process target must be a generator, got {generator!r}")
         super().__init__(engine)
         self._generator = generator
+        # Bound once: _resume runs for every suspension in the simulation,
+        # so the per-call generator attribute lookups are worth shaving.
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume once at the current time.
@@ -111,10 +117,10 @@ class Process(Event):
         self._target = None
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = self._send(event._value)
             else:
                 event._defused = True
-                next_event = self._generator.throw(event._value)
+                next_event = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -125,12 +131,17 @@ class Process(Event):
             self._value = exc
             self.engine._schedule(self)
             return
-        if not isinstance(next_event, Event):
+        try:
+            # Duck-typed in place of an isinstance check: this runs for
+            # every suspension in the simulation, and anything without
+            # event slots surfaces as the same TypeError below.
+            processed = next_event._processed
+        except AttributeError:
             raise TypeError(
                 f"{self.name} yielded {next_event!r}; processes may only "
                 "yield Event instances"
-            )
-        if next_event._processed:
+            ) from None
+        if processed:
             # Already fired: resume immediately (at the current time).
             ok = next_event._ok
             _kick(

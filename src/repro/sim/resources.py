@@ -9,13 +9,18 @@ from __future__ import annotations
 
 from bisect import insort
 from collections import deque
+from heapq import heappush
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, List, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import _NORMAL, _PENDING, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
+
+
+def _request_key(req: "Request") -> "tuple[int, int]":
+    return req._key
 
 
 class Request(Event):
@@ -24,10 +29,20 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_key")
 
     def __init__(self, resource: "Resource", priority: int) -> None:
-        super().__init__(resource.engine)
+        # Flattened Event.__init__: one Request is allocated per resource
+        # claim, which makes this one of the kernel's hottest constructors
+        # (writing the slots directly saves the chained super() call).
+        # ``_key`` is assigned by Resource.request only when the claim
+        # actually queues: tickets drawn at queue time still reflect
+        # arrival order, and the common immediate grant skips the draw.
+        self.engine = resource.engine
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
         self.resource = resource
         self.priority = priority
-        self._key = (priority, next(resource._ticket))
 
     def __enter__(self) -> "Request":
         return self
@@ -91,18 +106,44 @@ class Resource:
     # -- protocol ------------------------------------------------------------
     def request(self, priority: int = 0) -> Request:
         """Claim one unit; the returned event fires when granted."""
-        req = Request(self, priority)
-        self._account()
+        # Request.__init__, inlined via __new__ (this is the only place
+        # requests are built, and the call frame itself shows up on
+        # multi-million-claim runs).
+        engine = self.engine
+        req = Request.__new__(Request)
+        req.engine = engine
+        req.callbacks = []
+        req._value = _PENDING
+        req._ok = True
+        req._processed = False
+        req._defused = False
+        req.resource = self
+        req.priority = priority
+        # _account(), inlined (hot path); skipping the zero-width update
+        # leaves the integral bit-identical (x + 0.0 == x here).
+        now = engine._now
+        if now != self._last_change:
+            self._busy_integral += len(self.users) * (now - self._last_change)
+            self._last_change = now
         if len(self.users) < self.capacity and not self.queue:
             self.users.append(req)
-            req.succeed()
+            # req.succeed(), inlined: a fresh Request cannot have been
+            # triggered, so the guard and the value write collapse.
+            req._value = None
+            heappush(
+                engine._queue, (now, _NORMAL, next(engine._eid), req)
+            )
         else:
-            insort(self.queue, req, key=lambda r: r._key)
+            req._key = (priority, next(self._ticket))
+            insort(self.queue, req, key=_request_key)
         return req
 
     def release(self, request: Request) -> None:
         """Return a previously granted unit and wake the next waiter."""
-        self._account()
+        now = self.engine._now
+        if now != self._last_change:
+            self._busy_integral += len(self.users) * (now - self._last_change)
+            self._last_change = now
         try:
             self.users.remove(request)
         except ValueError:
@@ -222,10 +263,13 @@ class BandwidthPipe:
 
     def transfer(self, nbytes: float, priority: int = 0) -> Generator[Event, Any, None]:
         """Generator: queue for the pipe, hold it for the transfer time."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         req = self._server.request(priority)
         yield req
         try:
-            yield self.engine.timeout(self.busy_time(nbytes))
+            # busy_time(nbytes), inlined on the per-transfer hot path.
+            yield Timeout(self.engine, self.overhead + nbytes / self.rate)
             self.bytes_transferred += nbytes
         finally:
             self._server.release(req)

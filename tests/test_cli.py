@@ -101,3 +101,42 @@ def test_run_with_report_and_json(tmp_path, capsys):
 
     data = json.loads(out_json.read_text())
     assert data[0]["app"] == "sor"
+
+
+def test_run_with_profile_table(tmp_path, capsys):
+    rc = main(["run", "lu", "--scale", "0.05", "--profile"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "system=nwcache" in captured.out
+    assert "cumulative" in captured.err  # pstats table on stderr
+
+
+def test_run_with_profile_dump(tmp_path, capsys):
+    out = tmp_path / "run.pstats"
+    rc = main(["run", "lu", "--scale", "0.05", "--profile", str(out)])
+    assert rc == 0
+    assert out.exists()
+    import pstats
+
+    stats = pstats.Stats(str(out))
+    assert stats.total_calls > 0
+
+
+def test_run_without_compiled_traces_matches(capsys):
+    assert main(["run", "lu", "--scale", "0.05"]) == 0
+    compiled = capsys.readouterr().out
+    assert main(["run", "lu", "--scale", "0.05",
+                 "--no-compiled-traces"]) == 0
+    generator = capsys.readouterr().out
+    assert generator == compiled  # trajectory-neutral: identical summary
+
+
+def test_trace_compile_command(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("NWCACHE_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("NWCACHE_TRACE_CACHE", "1")
+    rc = main(["trace", "compile", "sor", "--scale", "0.1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "compiled sor" in out
+    assert "trace key" in out
+    assert list((tmp_path / "traces").glob("*/*.pkl"))
