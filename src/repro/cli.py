@@ -21,6 +21,11 @@ Commands
 triage) and ``--no-compiled-traces`` (use live driver generators; the
 compiled trace path is trajectory-neutral, so results are identical).
 
+``run`` and ``batch`` accept ``--faults SPEC``: a fault-injection plan
+such as ``disk_transient_rate=0.01,channel_failures=0@2e6`` (see
+:func:`repro.sim.faults.parse_fault_spec`; the ``NWCACHE_FAULTS``
+environment variable supplies a default).
+
 Grid-running commands (``compare``, ``table``, ``figure``, ``sweep``,
 ``batch``) accept ``--jobs N`` (worker processes; default = CPU count)
 and ``--no-cache`` (skip the on-disk result cache).
@@ -79,6 +84,15 @@ def _summary(res: RunResult) -> str:
             f"invariant checks in {int(res.extras['audit_passes'])} passes, "
             "all held"
         )
+    faults = getattr(res.metrics, "faults", None)
+    fault_counts = faults.as_dict() if faults is not None else {}
+    if fault_counts:
+        injected = int(fault_counts.get("injected", 0))
+        detail = "  ".join(
+            f"{k}={int(v)}" for k, v in sorted(fault_counts.items())
+            if k != "injected"
+        )
+        lines.append(f"  faults injected: {injected:12d}  {detail}")
     return "\n".join(lines)
 
 
@@ -126,6 +140,7 @@ def _run_once(args: argparse.Namespace) -> int:
             args.scale,
             min_free=BEST_MIN_FREE[(args.system, args.prefetch)],
             audit=args.audit,
+            faults=args.faults,
         )
         machine = Machine(cfg, system=args.system, prefetch=args.prefetch,
                           compiled_traces=compiled)
@@ -134,10 +149,15 @@ def _run_once(args: argparse.Namespace) -> int:
         print(_summary(res))
         print()
         print(machine_report(machine, res.exec_time))
+        fault_table = report.fault_section(res)
+        if fault_table:
+            print()
+            print(fault_table)
     else:
         res = run_experiment(
             args.app, args.system, args.prefetch, data_scale=args.scale,
             audit=args.audit or None, compiled_traces=compiled,
+            faults=args.faults,
         )
         print(_summary(res))
     if args.json:
@@ -148,6 +168,19 @@ def _run_once(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_failures(results) -> None:
+    """Exit with a diagnostic if any crash-safe batch slot failed."""
+    from repro.core.batch import FailedSpec
+
+    failed = [r for r in results if isinstance(r, FailedSpec)]
+    if failed:
+        for f in failed:
+            print(f"FAILED {f.spec.app} {f.spec.system}/{f.spec.prefetch}: "
+                  f"{f.kind} after {f.attempts} attempt(s) ({f.error})",
+                  file=sys.stderr)
+        sys.exit(1)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.batch import run_pairs_batch
 
@@ -156,6 +189,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs, cache=_cache_arg(args),
     )
     std, nwc = pairs[args.app]
+    _check_failures([std, nwc])
     print(_summary(std))
     print()
     print(_summary(nwc))
@@ -173,10 +207,14 @@ def _progress(spec, res, cached: bool) -> None:
 def _all_pairs(prefetch: str, args: argparse.Namespace, apps: List[str]):
     from repro.core.batch import run_pairs_batch
 
-    return run_pairs_batch(
+    pairs = run_pairs_batch(
         apps, prefetch=prefetch, data_scale=args.scale,
         jobs=args.jobs, cache=_cache_arg(args), progress=_progress,
     )
+    # Tables/figures cannot render around holes: bail out with the
+    # failure diagnostics instead.
+    _check_failures([r for pair in pairs.values() for r in pair])
+    return pairs
 
 
 def cmd_table(args: argparse.Namespace) -> int:
@@ -200,6 +238,7 @@ def cmd_table(args: argparse.Namespace) -> int:
                  for pf in ("naive", "optimal") for a in apps]
         results = run_batch(specs, jobs=args.jobs, cache=_cache_arg(args),
                             progress=_progress)
+        _check_failures(results)
         naive = dict(zip(apps, results[: len(apps)]))
         optimal = dict(zip(apps, results[len(apps):]))
         text = report.table_hit_rates(naive, optimal)
@@ -238,13 +277,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.core.batch import grid_specs, resolve_cache, run_batch
+    from repro.core.batch import (
+        FailedSpec,
+        grid_specs,
+        resolve_cache,
+        run_batch,
+    )
+    from repro.core.machine import RunResult as _RunResult
 
     apps = args.apps or APP_NAMES
     systems = args.systems or ["standard", "nwcache"]
     prefetchers = args.prefetchers or [args.prefetch]
     specs = grid_specs(apps, systems, prefetchers, data_scale=args.scale,
-                       audit=args.audit)
+                       audit=args.audit, faults=args.faults)
     if args.audit and not args.no_cache:
         # Audited results carry audit counters in extras; keep them out
         # of the shared result cache.
@@ -256,7 +301,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
         cache=cache if cache is not None else False,
         progress=_progress,
     )
+    n_failed = 0
     for spec, res in zip(specs, results):
+        if isinstance(res, FailedSpec):
+            n_failed += 1
+            print(f"{spec.app:6s} {spec.system:8s} {spec.prefetch:8s} "
+                  f"FAILED ({res.kind} after {res.attempts} attempt(s): "
+                  f"{res.error})")
+            continue
         print(f"{spec.app:6s} {spec.system:8s} {spec.prefetch:8s} "
               f"exec={res.exec_time / 1e6:10.2f} Mpc  "
               f"swapout={res.swapout_mean / 1e3:8.1f} Kpc  "
@@ -268,8 +320,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.json:
         from repro.core.export import save_full_results
 
-        n = save_full_results(args.json, results)
+        ok = [r for r in results if isinstance(r, _RunResult)]
+        n = save_full_results(args.json, ok)
         print(f"wrote {n} results to {args.json}", file=sys.stderr)
+    if n_failed:
+        print(f"{n_failed} cell(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -328,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-compiled-traces", action="store_true",
                    help="feed CPUs from live driver generators instead of "
                         "the compiled reference trace (results identical)")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault-injection plan, e.g. "
+                        "'disk_transient_rate=0.01,channel_failures=0@2e6' "
+                        "(default: the NWCACHE_FAULTS environment variable)")
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -373,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write full-fidelity results as JSON to PATH")
     p.add_argument("--audit", action="store_true",
                    help="run every cell with the invariant auditor enabled")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault-injection plan applied to every cell "
+                        "(default: the NWCACHE_FAULTS environment variable)")
     _add_common(p)
     _add_batch_opts(p)
     p.set_defaults(func=cmd_batch)

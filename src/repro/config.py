@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from repro.sim.faults import FaultPlan, parse_fault_spec
 
 #: Simulated pcycles per second (1 pcycle = 5 ns, Table 1).
 PCYCLES_PER_SEC = 200_000_000
@@ -112,6 +114,11 @@ class SimConfig:
     # ---------------------------------------------------------------- auditing
     audit: bool = False                   #: run invariant checks during the sim
     audit_every_events: int = 512         #: events between audit passes
+
+    # ---------------------------------------------------------------- faults
+    #: fault-injection plan: a FaultPlan, a spec string (parsed on
+    #: construction; see repro.sim.faults.parse_fault_spec), or None
+    faults: Optional[FaultPlan] = None
 
     # -------------------------------------------------------------- derived
     @property
@@ -239,6 +246,10 @@ class SimConfig:
             raise ValueError(
                 f"audit_every_events must be >= 1, got {self.audit_every_events}"
             )
+        if isinstance(self.faults, str):
+            self.faults = parse_fault_spec(self.faults)
+        if self.faults is not None:
+            self.faults.validate(self)
         self.mesh_dims  # trigger shape validation
 
     # -------------------------------------------------------------- presets

@@ -8,16 +8,21 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.disk.audit import DiskCacheInvariant, DiskQueueInvariant
+from repro.disk.audit import (
+    DiskCacheInvariant,
+    DiskFaultInvariant,
+    DiskQueueInvariant,
+)
 from repro.hw.audit import TimeAccountInvariant
 from repro.optical.audit import (
+    ChannelFailureInvariant,
     ChannelOccupancyInvariant,
     FifoConsistencyInvariant,
     FifoOrderInvariant,
     RingConservationInvariant,
 )
 from repro.osim.audit import FramePoolInvariant, PageStateInvariant
-from repro.sim.audit import Auditor, TallySanityInvariant
+from repro.sim.audit import Auditor, FaultLogInvariant, TallySanityInvariant
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.machine import Machine
@@ -67,6 +72,14 @@ def build_auditor(machine: "Machine", install: bool = True) -> Auditor:
             )
         )
         aud.register(FifoOrderInvariant(machine.interfaces))
+    injector = getattr(machine, "fault_injector", None)
+    if injector is not None:
+        # Fault-injection conservation laws, only meaningful (and only
+        # registered) when a fault plan is active on this machine.
+        aud.register(FaultLogInvariant(injector))
+        aud.register(DiskFaultInvariant(machine.controllers))
+        if machine.ring is not None:
+            aud.register(ChannelFailureInvariant(machine.ring))
 
     if install:
         aud.install()

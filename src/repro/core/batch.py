@@ -1,4 +1,4 @@
-"""Batch execution: fan an experiment grid out over a process pool.
+"""Batch execution: fan an experiment grid out over crash-safe workers.
 
 The paper's evaluation is a grid of *independent* simulations (7 apps x 2
 systems x up to 3 prefetchers, plus ablation sweeps).  Each cell is a
@@ -12,6 +12,17 @@ content-addressed :class:`~repro.core.cache.ResultCache` first, runs only
 the missing cells (in parallel when ``jobs > 1``), stores the fresh
 results, and returns everything in spec order.
 
+Crash safety
+------------
+A grid run must survive any single cell going bad.  Each parallel cell
+runs in its **own** worker process with its own result pipe; a worker
+that raises, exceeds the per-cell ``timeout`` (default:
+``NWCACHE_BATCH_TIMEOUT`` seconds), or dies outright (segfault,
+OOM-kill) is retried once and, if it fails again, recorded as a
+structured :class:`FailedSpec` in its slot — every *other* cell's result
+is still returned.  Callers that need all-or-nothing semantics can pass
+results through :func:`raise_failures`.
+
 ::
 
     from repro.core.batch import ExperimentSpec, run_batch
@@ -23,15 +34,28 @@ results, and returns everything in spec order.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.config import SimConfig
 from repro.core.cache import ResultCache, cache_key
 from repro.core.machine import RunResult, SYSTEM_NWCACHE, SYSTEM_STANDARD
 from repro.core.runner import (
     BEST_MIN_FREE,
+    env_fault_spec,
     experiment_config,
     run_experiment,
     scaled_min_free,
@@ -40,8 +64,6 @@ from repro.core.runner import (
 #: Type accepted by run_batch's ``cache`` parameter: an explicit cache,
 #: ``None`` for the default on-disk cache, or ``False`` to disable caching.
 CacheArg = Union[ResultCache, None, bool]
-
-ProgressFn = Callable[["ExperimentSpec", RunResult, bool], None]
 
 
 @dataclass
@@ -59,6 +81,9 @@ class ExperimentSpec:
     #: trace-fed CPU fast path (trajectory-neutral, so deliberately NOT
     #: part of key(): generator and compiled runs are interchangeable)
     compiled_traces: Optional[bool] = None
+    #: fault-injection plan (FaultPlan, spec string, or None to defer to
+    #: the NWCACHE_FAULTS environment variable) — part of key()
+    faults: Any = None
     app_params: Dict[str, Any] = field(default_factory=dict)
 
     def resolved_config(self) -> SimConfig:
@@ -76,6 +101,13 @@ class ExperimentSpec:
             )
         if self.audit and not cfg.audit:
             cfg = cfg.replace(audit=True)
+        # Mirror run_experiment's fault resolution (spec field, then the
+        # environment) so key() always covers the plan actually simulated.
+        faults = self.faults
+        if faults is None:
+            faults = env_fault_spec()
+        if faults is not None:
+            cfg = cfg.replace(faults=faults)
         return cfg
 
     def key(self) -> str:
@@ -107,13 +139,80 @@ class ExperimentSpec:
             drain_policy=self.drain_policy,
             audit=self.audit or None,
             compiled_traces=self.compiled_traces,
+            faults=self.faults,
             **self.app_params,
         )
 
 
+@dataclass
+class FailedSpec:
+    """A grid cell whose every attempt failed; fills the cell's slot.
+
+    ``kind`` distinguishes how the last attempt died: ``"error"`` (the
+    worker raised), ``"timeout"`` (exceeded the per-cell deadline and was
+    terminated), or ``"crash"`` (the worker process died without
+    reporting — segfault, OOM-kill, ``os._exit``).
+    """
+
+    spec: ExperimentSpec
+    kind: str
+    error: str
+    attempts: int
+
+    def __bool__(self) -> bool:
+        # Failed slots are falsy so ``isinstance``-free call sites can
+        # filter with ``if res:`` — a RunResult is always truthy.
+        return False
+
+
+#: What fills one slot of a batch result list.
+BatchResult = Union[RunResult, FailedSpec]
+
+ProgressFn = Callable[["ExperimentSpec", "BatchResult", bool], None]
+
+
+def raise_failures(results: Sequence[BatchResult]) -> List[RunResult]:
+    """Return ``results`` unchanged unless any slot failed.
+
+    All-or-nothing adapter for callers (sweeps, table builders) that
+    cannot tolerate holes: raises one RuntimeError naming every failed
+    cell instead of letting a FailedSpec masquerade as a result.
+    """
+    failures = [r for r in results if isinstance(r, FailedSpec)]
+    if failures:
+        lines = "; ".join(
+            f"{f.spec.app}/{f.spec.system}/{f.spec.prefetch}: "
+            f"{f.kind} after {f.attempts} attempt(s) ({f.error})"
+            for f in failures
+        )
+        raise RuntimeError(
+            f"{len(failures)} batch cell(s) failed: {lines}"
+        )
+    return list(results)  # type: ignore[arg-type]  # no FailedSpec left
+
+
 def _run_spec(spec: ExperimentSpec) -> RunResult:
-    """Module-level pool target (must be picklable by name)."""
+    """Module-level worker target (must be picklable by name)."""
     return spec.run()
+
+
+def _worker_entry(spec: ExperimentSpec, conn: Any) -> None:
+    """Worker-process entry: run one cell, send the outcome, exit.
+
+    Sends ``("ok", RunResult)`` or ``("error", message)``; a worker that
+    dies before sending anything is detected by the parent as EOF on the
+    pipe and classified as a crash.
+    """
+    try:
+        res = spec.run()
+        conn.send(("ok", res))
+    except BaseException as exc:  # noqa: BLE001 - report, don't judge
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
 
 
 def resolve_cache(cache: CacheArg) -> Optional[ResultCache]:
@@ -138,13 +237,160 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def batch_timeout() -> Optional[float]:
+    """Per-cell wall-clock deadline from ``NWCACHE_BATCH_TIMEOUT`` (s)."""
+    env = os.environ.get("NWCACHE_BATCH_TIMEOUT")
+    if not env:
+        return None
+    try:
+        t = float(env)
+    except ValueError:
+        raise ValueError(
+            f"NWCACHE_BATCH_TIMEOUT must be a number of seconds, got {env!r}"
+        ) from None
+    return t if t > 0 else None
+
+
+@dataclass
+class _Cell:
+    """Scheduler bookkeeping for one cache-miss cell."""
+
+    index: int
+    spec: ExperimentSpec
+    key: Optional[str]
+    attempts: int = 0
+    last_kind: str = "error"
+    last_error: str = ""
+
+
+def _run_misses_parallel(
+    cells: List[_Cell],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    finish: Callable[[_Cell, BatchResult], None],
+) -> None:
+    """Process-per-cell scheduler with deadlines, crash detection, retry.
+
+    Unlike a ``Pool``, one worker dying (or hanging) cannot poison the
+    others: each cell owns its process and pipe, and failures are
+    confined to their own slot.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    pending = deque(cells)
+    running: Dict[Any, Tuple[_Cell, Any, Optional[float]]] = {}
+
+    def retry_or_fail(cell: _Cell, kind: str, error: str) -> None:
+        cell.last_kind, cell.last_error = kind, error
+        if cell.attempts <= retries:
+            pending.append(cell)
+        else:
+            finish(
+                cell,
+                FailedSpec(cell.spec, kind, error, attempts=cell.attempts),
+            )
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                cell = pending.popleft()
+                cell.attempts += 1
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_entry, args=(cell.spec, send), daemon=True
+                )
+                proc.start()
+                send.close()  # parent keeps only the read end
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                running[recv] = (cell, proc, deadline)
+            wait_for: Optional[float] = None
+            if timeout is not None:
+                nearest = min(d for _, _, d in running.values() if d)
+                wait_for = max(0.0, nearest - time.monotonic())
+            ready = multiprocessing.connection.wait(
+                list(running), timeout=wait_for
+            )
+            for conn in ready:
+                cell, proc, _deadline = running.pop(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+                conn.close()
+                proc.join()
+                if msg is not None and msg[0] == "ok":
+                    finish(cell, msg[1])
+                elif msg is not None:
+                    retry_or_fail(cell, "error", msg[1])
+                else:
+                    retry_or_fail(
+                        cell,
+                        "crash",
+                        f"worker died without reporting "
+                        f"(exitcode {proc.exitcode})",
+                    )
+            if timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    conn
+                    for conn, (_, _, d) in running.items()
+                    if d is not None and d <= now
+                ]
+                for conn in expired:
+                    cell, proc, _deadline = running.pop(conn)
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    retry_or_fail(
+                        cell, "timeout", f"exceeded {timeout:g}s deadline"
+                    )
+    finally:
+        # On an unexpected scheduler error, never leak worker processes.
+        for _cell, proc, _deadline in running.values():
+            proc.terminate()
+            proc.join()
+
+
+def _run_misses_serial(
+    cells: List[_Cell],
+    retries: int,
+    finish: Callable[[_Cell, BatchResult], None],
+) -> None:
+    """In-process execution with the same retry/FailedSpec contract.
+
+    No per-cell deadline here: a timeout cannot be enforced on the
+    calling process itself (use ``jobs > 1`` for that).
+    """
+    for cell in cells:
+        outcome: Optional[BatchResult] = None
+        while outcome is None:
+            cell.attempts += 1
+            try:
+                outcome = cell.spec.run()
+            except Exception as exc:  # noqa: BLE001 - confine to the cell
+                if cell.attempts <= retries:
+                    continue
+                outcome = FailedSpec(
+                    cell.spec,
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    attempts=cell.attempts,
+                )
+        finish(cell, outcome)
+
+
 def run_batch(
     specs: Sequence[ExperimentSpec],
     jobs: Optional[int] = None,
     cache: CacheArg = None,
     progress: Optional[ProgressFn] = None,
-) -> List[RunResult]:
-    """Run a grid of experiment cells, cached and in parallel.
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[BatchResult]:
+    """Run a grid of experiment cells, cached, parallel, and crash-safe.
 
     Parameters
     ----------
@@ -159,13 +405,32 @@ def run_batch(
         pass an explicit :class:`ResultCache`.
     progress:
         Optional callback ``progress(spec, result, was_cached)`` invoked
-        as each cell completes (cached cells first, then run order).
+        as each cell completes (cached cells first, then completion
+        order); ``result`` may be a :class:`FailedSpec`.
+    timeout:
+        Per-cell wall-clock deadline in seconds for parallel runs
+        (default: the ``NWCACHE_BATCH_TIMEOUT`` environment variable;
+        unset means no deadline).  A worker past its deadline is
+        terminated and the attempt counts as a ``"timeout"`` failure.
+    retries:
+        How many times a failed cell is re-attempted before its slot
+        becomes a :class:`FailedSpec` (default 1: every cell gets up to
+        two attempts).
+
+    Returns
+    -------
+    One entry per spec, in spec order: the :class:`RunResult`, or a
+    :class:`FailedSpec` if every attempt at that cell failed.  A bad
+    cell never takes down the batch — see :func:`raise_failures` for
+    all-or-nothing callers.
     """
     specs = list(specs)
     store = resolve_cache(cache)
-    results: List[Optional[RunResult]] = [None] * len(specs)
+    if timeout is None:
+        timeout = batch_timeout()
+    results: List[Optional[BatchResult]] = [None] * len(specs)
 
-    misses: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
+    misses: List[_Cell] = []
     for i, spec in enumerate(specs):
         key = spec.key() if store is not None else None
         hit = store.get(key) if store is not None else None
@@ -174,33 +439,31 @@ def run_batch(
             if progress is not None:
                 progress(spec, hit, True)
         else:
-            misses.append((i, spec, key))
+            misses.append(_Cell(i, spec, key))
 
     if misses:
+        def finish(cell: _Cell, res: BatchResult) -> None:
+            results[cell.index] = res
+            if (
+                store is not None
+                and cell.key is not None
+                and isinstance(res, RunResult)
+            ):
+                store.put(cell.key, res)
+            if progress is not None:
+                progress(cell.spec, res, False)
+
         if jobs is None:
             jobs = default_jobs()
-        jobs = max(1, min(jobs, len(misses)))
-        miss_specs = [spec for _, spec, _ in misses]
-        if jobs == 1:
-            fresh = map(_run_spec, miss_specs)
+        if jobs <= 1:
+            # In-process; no worker isolation, so no timeout enforcement.
+            _run_misses_serial(misses, retries, finish)
         else:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
+            # Requested parallelism keeps process isolation (crash
+            # confinement + deadlines) even when only one cell missed.
+            _run_misses_parallel(
+                misses, min(jobs, len(misses)), timeout, retries, finish
             )
-            pool = ctx.Pool(processes=jobs)
-            try:
-                fresh = pool.imap(_run_spec, miss_specs, chunksize=1)
-                fresh = list(fresh)
-            finally:
-                pool.close()
-                pool.join()
-        for (i, spec, key), res in zip(misses, fresh):
-            results[i] = res
-            if store is not None and key is not None:
-                store.put(key, res)
-            if progress is not None:
-                progress(spec, res, False)
 
     return results  # type: ignore[return-value]  # every slot is filled
 
@@ -229,13 +492,17 @@ def run_pairs_batch(
     cache: CacheArg = None,
     progress: Optional[ProgressFn] = None,
     **kwargs: Any,
-) -> Dict[str, Tuple[RunResult, RunResult]]:
-    """(standard, nwcache) result pairs for each app, via one batch."""
+) -> Dict[str, Tuple[BatchResult, BatchResult]]:
+    """(standard, nwcache) result pairs for each app, via one batch.
+
+    A cell that failed occupies its half of the pair as a
+    :class:`FailedSpec`; the other half is still a real result.
+    """
     specs = grid_specs(
         apps, prefetches=(prefetch,), data_scale=data_scale, **kwargs
     )
     results = run_batch(specs, jobs=jobs, cache=cache, progress=progress)
-    out: Dict[str, Tuple[RunResult, RunResult]] = {}
+    out: Dict[str, Tuple[BatchResult, BatchResult]] = {}
     by_cell = {
         (s.app, s.system): r for s, r in zip(specs, results)
     }

@@ -19,6 +19,13 @@ simulator's *code*.  :data:`CACHE_FORMAT_VERSION` is bumped whenever a
 model change alters results; after local model hacking, clear the cache
 (``ResultCache.default().clear()`` or ``rm -rf`` the directory) or run
 with caching disabled (``--no-cache`` on the CLI and scripts).
+
+Robustness: entries are written inside a checksummed envelope (magic,
+format version, SHA-256 of the payload, payload).  A file that fails any
+validation step on load — truncated, bit-flipped, wrong type, foreign
+format — is *quarantined* to ``<cache>/corrupt/`` with a warning and
+treated as a miss, so a damaged cache degrades to recomputation instead
+of crashing the batch that touched it.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -38,7 +46,100 @@ from repro.core.machine import RunResult
 #: Bump when a simulator change alters results for identical inputs.
 #: v2: audit fields on SimConfig; order-stable canonicalization of
 #: mixed-key dicts and sets (repr of a set depends on PYTHONHASHSEED).
-CACHE_FORMAT_VERSION = 2
+#: v3: checksummed envelope on disk; ``faults`` on SimConfig and
+#: ``Metrics.faults`` accounting (old pickles lack both).
+CACHE_FORMAT_VERSION = 3
+
+#: name of the quarantine directory inside a cache root
+CORRUPT_DIR = "corrupt"
+
+_RESULT_MAGIC = "nwcache-result"
+
+
+class CorruptCacheEntry(Exception):
+    """An on-disk cache entry failed envelope validation."""
+
+
+def write_envelope(path: Path, magic: str, version: int, obj: Any) -> None:
+    """Atomically write ``obj`` wrapped in a checksummed envelope.
+
+    The envelope is a pickled tuple ``(magic, version, sha256(blob),
+    blob)`` where ``blob`` is the pickled payload — enough redundancy to
+    distinguish truncation, corruption, and foreign files on load.
+    """
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = (magic, version, hashlib.sha256(blob).hexdigest(), blob)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_envelope(path: Path, magic: str, version: int) -> Any:
+    """Load and validate an envelope written by :func:`write_envelope`.
+
+    Raises FileNotFoundError on a plain miss and
+    :class:`CorruptCacheEntry` on any validation failure (unreadable
+    pickle, bad magic, version mismatch, checksum mismatch).
+    """
+    try:
+        with path.open("rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CorruptCacheEntry(f"unreadable envelope: {exc!r}") from exc
+    if not (isinstance(payload, tuple) and len(payload) == 4):
+        raise CorruptCacheEntry("bad envelope structure")
+    got_magic, got_version, digest, blob = payload
+    if got_magic != magic:
+        raise CorruptCacheEntry(f"bad magic {got_magic!r}")
+    if got_version != version:
+        raise CorruptCacheEntry(
+            f"format version {got_version!r} != expected {version}"
+        )
+    if (
+        not isinstance(blob, bytes)
+        or hashlib.sha256(blob).hexdigest() != digest
+    ):
+        raise CorruptCacheEntry("payload checksum mismatch")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise CorruptCacheEntry(f"unreadable payload: {exc!r}") from exc
+
+
+def quarantine(path: Path, root: Path, reason: str) -> None:
+    """Move a corrupt cache file into ``<root>/corrupt/`` with a warning.
+
+    The entry then reads as a miss, so callers recompute; the file is
+    preserved for inspection rather than silently deleted.
+    """
+    qdir = root / CORRUPT_DIR
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, qdir / path.name)
+        moved = True
+    except OSError:
+        moved = False
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    warnings.warn(
+        f"quarantined corrupt cache entry {path.name} ({reason})"
+        + ("" if moved else "; move failed, entry deleted"),
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def default_cache_dir() -> Path:
@@ -134,15 +235,26 @@ class ResultCache:
         return self.directory / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[RunResult]:
-        """Return the cached result for ``key``, or None on a miss."""
+        """Return the cached result for ``key``, or None on a miss.
+
+        Corrupt or foreign entries are quarantined (see module doc) and
+        read as misses — the caller recomputes.
+        """
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                res = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            res = read_envelope(path, _RESULT_MAGIC, CACHE_FORMAT_VERSION)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        except CorruptCacheEntry as exc:
+            quarantine(path, self.directory, str(exc))
             self.misses += 1
             return None
         if not isinstance(res, RunResult):
+            quarantine(path, self.directory, "payload is not a RunResult")
             self.misses += 1
             return None
         self.hits += 1
@@ -150,34 +262,35 @@ class ResultCache:
 
     def put(self, key: str, result: RunResult) -> None:
         """Store ``result`` under ``key`` (atomic, last-writer-wins)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        write_envelope(
+            self._path(key), _RESULT_MAGIC, CACHE_FORMAT_VERSION, result
+        )
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def _entries(self):
+        # The quarantine directory sits beside the two-level fanout, so
+        # its files match the same glob and must be excluded.
+        return (
+            p
+            for p in self.directory.glob("*/*.pkl")
+            if p.parent.name != CORRUPT_DIR
+        )
+
     def __len__(self) -> int:
         if not self.directory.exists():
             return 0
-        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry; returns how many were removed.
+
+        Quarantined files are left in place (they are not entries)."""
         n = 0
         if not self.directory.exists():
             return 0
-        for entry in self.directory.glob("*/*.pkl"):
+        for entry in list(self._entries()):
             try:
                 entry.unlink()
                 n += 1

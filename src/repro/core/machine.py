@@ -191,6 +191,16 @@ class Machine:
         ]
         self.vm.install_cpus(self.cpus)
 
+        # -- fault injection (imported only when a plan is configured)
+        self.fault_injector = None
+        if cfg.faults is not None and not cfg.faults.is_noop():
+            from repro.sim.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                eng, cfg.faults, self.rng, self.metrics.faults
+            )
+            self.fault_injector.attach(self)
+
         # -- invariant auditing (imported only when enabled)
         self.auditor = None
         if cfg.audit:
@@ -266,6 +276,13 @@ class Machine:
                 self.engine.process(cpu.run(stream))
                 for cpu, stream in zip(self.cpus, streams)
             ]
+        if self.fault_injector is not None and procs:
+            # Interval-driven fault processes keep timeouts queued, which
+            # would stop the engine from ever quiescing; when the last
+            # CPU finishes, tell the injector to wind down.
+            injector = self.fault_injector
+            done = self.engine.all_of(procs)
+            done.callbacks.append(lambda _ev: injector.stop())
         # The drain loop allocates hundreds of thousands of short-lived
         # events that reference counting alone reclaims; pausing the
         # cyclic collector avoids repeated full-heap scans mid-run.
@@ -321,6 +338,8 @@ class Machine:
         if self.auditor is not None:
             extras["audit_passes"] = float(self.auditor.passes)
             extras["audit_checks"] = float(self.auditor.checks)
+        if self.fault_injector is not None:
+            extras["faults_injected"] = float(self.fault_injector.n_injected)
         return RunResult(
             app=app.name,
             system=self.system,

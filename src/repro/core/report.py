@@ -207,6 +207,27 @@ def improvement_summary(pairs: PairMap, prefetch: str) -> Dict[str, float]:
     }
 
 
+# ------------------------------------------------------------- fault report
+def fault_section(res: RunResult) -> str:
+    """Fault-accounting table for one run (empty string when faults off).
+
+    Rows come from ``Metrics.faults``: what the injector scheduled
+    (``injected`` plus per-kind counts) and how the machine absorbed it
+    (retries, recoveries, timeouts, degraded swap-outs, lost ring
+    pages).
+    """
+    faults = getattr(res.metrics, "faults", None)
+    counts = faults.as_dict() if faults is not None else {}
+    if not counts:
+        return ""
+    rows = [[key, str(int(counts[key]))] for key in sorted(counts)]
+    return render_table(
+        f"Fault accounting: {res.app} on {res.system}/{res.prefetch}",
+        ["event", "count"],
+        rows,
+    )
+
+
 #: one glyph per execution-time component, in bar order
 _BAR_GLYPHS = {"nofree": "N", "transit": "T", "fault": "F", "tlb": "L", "other": "."}
 

@@ -92,6 +92,11 @@ def _audit_default() -> bool:
     return os.environ.get("NWCACHE_AUDIT", "").lower() not in ("", "0", "false", "no")
 
 
+def env_fault_spec() -> Optional[str]:
+    """The ``NWCACHE_FAULTS`` fault spec, or None when unset/empty."""
+    return os.environ.get("NWCACHE_FAULTS") or None
+
+
 def run_experiment(
     app: str | Workload,
     system: str = SYSTEM_STANDARD,
@@ -102,6 +107,7 @@ def run_experiment(
     drain_policy: str = "most-loaded",
     audit: Optional[bool] = None,
     compiled_traces: Optional[bool] = None,
+    faults: Any = None,
     **app_params: Any,
 ) -> RunResult:
     """Run one (application, system, prefetch) experiment.
@@ -131,6 +137,11 @@ def run_experiment(
         (:mod:`repro.core.trace`) instead of live driver generators.
         Trajectory-neutral; ``None`` defers to the
         ``NWCACHE_COMPILED_TRACES`` environment default (on).
+    faults:
+        Fault-injection plan: a :class:`~repro.sim.faults.FaultPlan`, a
+        spec string (see :func:`~repro.sim.faults.parse_fault_spec`), or
+        None.  ``None`` defers to the ``NWCACHE_FAULTS`` environment
+        variable, then to ``cfg.faults``.
     """
     if audit is None:
         audit = _audit_default()
@@ -148,6 +159,11 @@ def run_experiment(
         )
     if audit and not cfg.audit:
         cfg = cfg.replace(audit=True)
+    if faults is None:
+        faults = env_fault_spec()
+    if faults is not None:
+        # replace() re-runs validation and normalizes spec strings.
+        cfg = cfg.replace(faults=faults)
     if isinstance(app, Workload):
         workload = app
     else:

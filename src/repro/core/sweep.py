@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.core.batch import CacheArg, ExperimentSpec, run_batch
+from repro.core.batch import (
+    CacheArg,
+    ExperimentSpec,
+    raise_failures,
+    run_batch,
+)
 from repro.core.machine import RunResult
 from repro.core.report import render_table
 from repro.core.runner import BEST_MIN_FREE, experiment_config
@@ -85,7 +90,9 @@ def sweep(
         )
         for value in values
     ]
-    results = run_batch(specs, jobs=jobs, cache=cache)
+    # A sweep table with holes is useless: convert any crash-safe
+    # FailedSpec slots into one error naming the failed points.
+    results = raise_failures(run_batch(specs, jobs=jobs, cache=cache))
     return [
         _row(key, value, res, keep_results)
         for value, res in zip(values, results)

@@ -39,14 +39,16 @@ then ``~/.cache/nwcache``).  Set ``NWCACHE_TRACE_CACHE=0`` to kill the
 on-disk layer (in-process memoization still applies); bump
 :data:`TRACE_FORMAT_VERSION` when a driver change alters streams for
 identical parameters.
+
+Traces share the result cache's checksummed-envelope format: a trace
+file that fails validation on load is quarantined to
+``<traces>/corrupt/`` with a warning and recompiled, never raised.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import pickle
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -54,12 +56,23 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 import numpy as np
 
 from repro.apps.base import Item, Workload
-from repro.core.cache import canonical, default_cache_dir
+from repro.core.cache import (
+    CORRUPT_DIR,
+    CorruptCacheEntry,
+    canonical,
+    default_cache_dir,
+    quarantine,
+    read_envelope,
+    write_envelope,
+)
 from repro.sim.rng import RngRegistry
 
 #: Bump when a driver change alters the streams compiled from identical
 #: workload parameters (the key covers inputs, not driver code).
-TRACE_FORMAT_VERSION = 1
+#: v2: checksummed on-disk envelope (see repro.core.cache).
+TRACE_FORMAT_VERSION = 2
+
+_TRACE_MAGIC = "nwcache-trace"
 
 #: ``kind`` column codes
 KIND_VISIT = 0
@@ -259,7 +272,9 @@ class TraceCache:
 
     Same concurrency contract as the result cache: atomic
     write-temp-then-rename, so concurrent batch workers never observe a
-    partial trace.
+    partial trace.  Same robustness contract too: entries live in a
+    checksummed envelope, and a file that fails validation is
+    quarantined to ``corrupt/`` and read as a miss.
     """
 
     def __init__(self, directory: "Path | str | None" = None) -> None:
@@ -278,18 +293,29 @@ class TraceCache:
         return self.directory / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[CompiledTrace]:
-        """Return the cached trace for ``key``, or None on a miss."""
+        """Return the cached trace for ``key``, or None on a miss.
+
+        Corrupt or foreign entries are quarantined and read as misses —
+        the caller recompiles.
+        """
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                trace = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            trace = read_envelope(path, _TRACE_MAGIC, TRACE_FORMAT_VERSION)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        except CorruptCacheEntry as exc:
+            quarantine(path, self.directory, str(exc))
             self.misses += 1
             return None
         if (
             not isinstance(trace, CompiledTrace)
             or trace.version != TRACE_FORMAT_VERSION
         ):
+            quarantine(path, self.directory, "payload is not a current trace")
             self.misses += 1
             return None
         self.hits += 1
@@ -297,34 +323,35 @@ class TraceCache:
 
     def put(self, key: str, trace: CompiledTrace) -> None:
         """Store ``trace`` under ``key`` (atomic, last-writer-wins)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(trace, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        write_envelope(
+            self._path(key), _TRACE_MAGIC, TRACE_FORMAT_VERSION, trace
+        )
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def _entries(self):
+        # The quarantine directory sits beside the two-level fanout, so
+        # its files match the same glob and must be excluded.
+        return (
+            p
+            for p in self.directory.glob("*/*.pkl")
+            if p.parent.name != CORRUPT_DIR
+        )
+
     def __len__(self) -> int:
         if not self.directory.exists():
             return 0
-        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every cached trace; returns how many were removed."""
+        """Delete every cached trace; returns how many were removed.
+
+        Quarantined files are left in place (they are not entries)."""
         n = 0
         if not self.directory.exists():
             return 0
-        for entry in self.directory.glob("*/*.pkl"):
+        for entry in list(self._entries()):
             try:
                 entry.unlink()
                 n += 1

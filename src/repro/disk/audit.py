@@ -69,6 +69,53 @@ class DiskCacheInvariant(Invariant):
                     )
 
 
+class DiskFaultInvariant(Invariant):
+    """Disk-error bookkeeping stays conserved under fault injection.
+
+    Stateful: a disk's error counter is monotonic and its degraded flag
+    one-way; every disk error produced exactly one controller retry
+    (``disk.n_errors == io_retries``), and retries dominate their
+    outcomes (``io_recovered + io_timeouts <= io_retries``).
+    """
+
+    name = "disk-faults"
+
+    def __init__(self, controllers: List[Any]) -> None:
+        self.controllers = controllers
+        self._last: Dict[str, tuple] = {
+            c.name: (c.disk.n_errors, c.disk.degraded) for c in controllers
+        }
+
+    def check(self, now: float) -> None:
+        for ctrl in self.controllers:
+            disk = ctrl.disk
+            last_errors, last_degraded = self._last[ctrl.name]
+            if disk.n_errors < last_errors:
+                self.fail(
+                    f"{disk.name}: n_errors shrank {last_errors} -> "
+                    f"{disk.n_errors}",
+                    now,
+                )
+            if last_degraded and not disk.degraded:
+                self.fail(f"{disk.name}: degraded flag cleared", now)
+            self._last[ctrl.name] = (disk.n_errors, disk.degraded)
+            retries = ctrl.stats["io_retries"]
+            recovered = ctrl.stats["io_recovered"]
+            timeouts = ctrl.stats["io_timeouts"]
+            if disk.n_errors != retries:
+                self.fail(
+                    f"{ctrl.name}: {disk.n_errors} disk errors but "
+                    f"{retries} retries recorded",
+                    now,
+                )
+            if recovered + timeouts > retries:
+                self.fail(
+                    f"{ctrl.name}: {recovered} recoveries + {timeouts} "
+                    f"timeouts exceed {retries} retries",
+                    now,
+                )
+
+
 class DiskQueueInvariant(Invariant):
     """Disk counters and the mechanism queue stay conserved.
 

@@ -92,6 +92,11 @@ class DiskController:
         #: swap-outs combined per disk write (Tables 5/6)
         self.combining = Tally()
         self.stats = Counter()
+        #: disk-operation dispatch: the bare disk op by default, swapped
+        #: for the retrying wrapper when a fault plan enables disk errors
+        self._io = disk.io
+        self._fault_plan: Any = None
+        self._fault_injector: Any = None
         engine.process(self._flusher())
 
     # ------------------------------------------------------------- inspection
@@ -223,11 +228,57 @@ class DiskController:
                 self._start_prefetch(page)
             return "hit"
         self.stats.add("read_misses")
-        yield from self.disk.io(self.fs.block_of(page), 1, PRIO_DEMAND)
+        yield from self._io(self.fs.block_of(page), 1, PRIO_DEMAND)
         self._insert_clean(page)
         if self.prefetch is PrefetchMode.NAIVE or streaming:
             self._start_prefetch(page)
         return "miss"
+
+    # ------------------------------------------------------------- fault policy
+    def enable_fault_policy(self, plan: Any, injector: Any) -> None:
+        """Route disk operations through the retry/backoff wrapper.
+
+        Called by the fault injector when the plan enables disk errors;
+        ``plan`` carries the retry parameters and ``injector`` the shared
+        fault accounting.
+        """
+        self._fault_plan = plan
+        self._fault_injector = injector
+        self._io = self._retrying_io
+
+    def _retrying_io(
+        self, block: int, npages: int = 1, priority: int = PRIO_DEMAND
+    ) -> Generator[Event, Any, bool]:
+        """Disk op with retry, exponential backoff, and timeout.
+
+        A failed operation is retried up to ``plan.max_retries`` times,
+        waiting ``retry_backoff * 2**(attempt-1)`` between attempts.
+        When retries are exhausted the controller declares a timeout,
+        charges the timeout penalty, and recovers by proceeding as if the
+        final attempt had succeeded (the model has no data to corrupt —
+        only the time and the accounting differ).
+        """
+        plan = self._fault_plan
+        faults = self._fault_injector.faults
+        attempt = 0
+        while True:
+            ok = yield from self.disk.io(block, npages, priority)
+            if ok:
+                if attempt:
+                    self.stats.add("io_recovered")
+                    faults.add("io_recovered")
+                return True
+            attempt += 1
+            self.stats.add("io_retries")
+            faults.add("io_retries")
+            if attempt > plan.max_retries:
+                self.stats.add("io_timeouts")
+                faults.add("io_timeouts")
+                yield Timeout(self.engine, plan.retry_timeout_penalty_pcycles)
+                return False
+            yield Timeout(
+                self.engine, plan.retry_backoff_pcycles * (2.0 ** (attempt - 1))
+            )
 
     # ------------------------------------------------------------- internals
     def _lru_clean(self) -> Optional[int]:
@@ -271,7 +322,7 @@ class DiskController:
         for p in run:
             self._inflight_prefetch[p] = done
         try:
-            yield from self.disk.io(
+            yield from self._io(
                 self.fs.block_of(run[0]), len(run), PRIO_PREFETCH
             )
             for p in run:
@@ -297,7 +348,7 @@ class DiskController:
             oldest = min(dirty, key=lambda s: s.order)
             run = self._combining_run(oldest.page)
             orders = {p: self._slots[p].order for p in run}
-            yield from self.disk.io(
+            yield from self._io(
                 self.fs.block_of(run[0]), len(run), PRIO_WRITEBACK
             )
             ncombined = 0

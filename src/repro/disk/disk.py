@@ -50,6 +50,13 @@ class Disk:
         self.service = Tally()
         #: total time ops spent queued + in service
         self.response = Tally()
+        #: fault hook (repro.sim.faults.DiskFaultState) — None when the
+        #: fault layer is off, keeping the io() path zero-cost
+        self._faults: Any = None
+        #: operations that completed with an injected error
+        self.n_errors = 0
+        #: latched true once the disk enters degraded mode
+        self.degraded = False
 
     # -- timing model -------------------------------------------------------
     def cylinder_of(self, block: int) -> int:
@@ -75,11 +82,14 @@ class Disk:
     # -- operation -------------------------------------------------------------
     def io(
         self, block: int, npages: int = 1, priority: int = PRIO_DEMAND
-    ) -> Generator[Event, Any, None]:
+    ) -> Generator[Event, Any, bool]:
         """Perform one (multi-page, consecutive) disk operation.
 
         Generator: yields until the transfer completes.  Reads and writes
         cost the same in this model; ``priority`` orders queued requests.
+        Returns True on success, False when the fault layer injected an
+        error into this operation (the mechanism time is still consumed;
+        the controller decides whether to retry).
         """
         if npages < 1:
             raise ValueError(f"npages must be >= 1, got {npages}")
@@ -92,11 +102,19 @@ class Disk:
             rotation = float(self.rng.uniform(0.0, 2.0 * self.cfg.rotational_pcycles))
             xfer = self.transfer_time(npages)
             self.current_cylinder = cyl
-            yield Timeout(self.engine, seek + rotation + xfer)
+            faults = self._faults
+            service = seek + rotation + xfer
+            if faults is not None:
+                service += faults.service_penalty()
+            yield Timeout(self.engine, service)
             self.n_ops += 1
             self.pages_moved += npages
-            self.service.record(seek + rotation + xfer)
+            self.service.record(service)
             self.response.record(self.engine.now - t_queue)
+            if faults is not None and faults.roll_error():
+                self.n_errors += 1
+                return False
+            return True
         finally:
             self.mechanism.release(req)
 

@@ -35,6 +35,12 @@ class Metrics:
         Event counters: ``faults``, ``ring_hits``, ``disk_cache_hits``,
         ``disk_reads``, ``clean_drops``, ``swapouts``, ``transit_waits``,
         ``remote_fetches``.
+    faults:
+        Fault-injection/recovery accounting (``injected``,
+        ``io_retries``, ``io_recovered``, ``io_timeouts``,
+        ``degraded_swapouts``, ``ring_pages_lost``, per-kind injection
+        counts).  Empty — and absent from :meth:`summary` — when no
+        fault plan is configured.
     """
 
     def __init__(self) -> None:
@@ -44,6 +50,7 @@ class Metrics:
         self.disk_hit_latency = Tally()
         self.ring_hit_latency = Tally()
         self.counts = Counter()
+        self.faults = Counter()
 
     # -- derived results ------------------------------------------------------
     @property
@@ -71,4 +78,6 @@ class Metrics:
         }
         for key, val in self.counts.as_dict().items():
             out[f"n_{key}"] = float(val)
+        for key, val in self.faults.as_dict().items():
+            out[f"fault_{key}"] = float(val)
         return out

@@ -65,6 +65,43 @@ class ChannelOccupancyInvariant(Invariant):
                     )
 
 
+class ChannelFailureInvariant(Invariant):
+    """Channel failure state only degrades, and voids its waiters.
+
+    Stateful: a failed channel never heals, a drop window's end never
+    moves backwards, and no swap-out is ever left queued on a channel
+    that cannot accept it (failures and drops wake their waiters with
+    the ``channel-failed`` marker immediately).
+    """
+
+    name = "channel-failures"
+
+    def __init__(self, ring: OpticalRing) -> None:
+        self.ring = ring
+        self._last: Dict[int, Tuple[bool, float]] = {
+            ch.index: (ch.failed, ch._down_until) for ch in ring.channels
+        }
+
+    def check(self, now: float) -> None:
+        for ch in self.ring.channels:
+            last_failed, last_down = self._last[ch.index]
+            if last_failed and not ch.failed:
+                self.fail(f"channel {ch.index}: failure healed", now)
+            if ch._down_until < last_down:
+                self.fail(
+                    f"channel {ch.index}: drop window shrank "
+                    f"{last_down} -> {ch._down_until}",
+                    now,
+                )
+            self._last[ch.index] = (ch.failed, ch._down_until)
+            if not ch.available() and ch._slot_waiters:
+                self.fail(
+                    f"channel {ch.index}: {len(ch._slot_waiters)} swap-outs "
+                    "queued on an unavailable channel",
+                    now,
+                )
+
+
 class RingConservationInvariant(Invariant):
     """No lost or duplicated pages between the ring and the page table.
 

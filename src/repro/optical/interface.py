@@ -136,9 +136,15 @@ class NWCacheInterface:
             # "copies as many pages as possible": stay on this channel
             # until its swap-outs are exhausted or the cache fills.
             while fifo and self.controller.has_room_for_write():
-                page, swapper, _seq = fifo.popleft()
+                page, swapper, seq = fifo.popleft()
                 channel = self.ring.channels[ch]
                 yield self.engine.timeout(channel.read_delay(page))
+                if not self.controller.has_room_for_write():
+                    # A degraded (standard-path) swap-out can fill the
+                    # cache while the page is read off the ring; requeue
+                    # at the head and wait for room again.
+                    fifo.appendleft((page, swapper, seq))
+                    break
                 self.controller.place_dirty(page)
                 yield self.engine.timeout(ack_latency)
                 self._ack(page, swapper)

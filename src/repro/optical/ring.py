@@ -42,6 +42,10 @@ class CacheChannel:
         self._pages: Dict[int, float] = {}  # page -> insertion phase
         self._slot_waiters: Deque[Event] = deque()
         self._reserved = 0  # slots claimed by in-progress insertions
+        #: latched true when the fault layer fails this channel for good
+        self.failed = False
+        #: transient drop: the channel is dark until this time
+        self._down_until = 0.0
         self.stats = Counter()
 
     # -- capacity ------------------------------------------------------------
@@ -93,6 +97,34 @@ class CacheChannel:
         if self._slot_waiters and self.has_room():
             self._reserved += 1
             self._slot_waiters.popleft().succeed()
+
+    # -- faults ------------------------------------------------------------
+    def available(self) -> bool:
+        """True when the channel can accept swap-outs right now."""
+        return not self.failed and self.engine.now >= self._down_until
+
+    def fail(self) -> None:
+        """Permanently fail the channel (fault injection).
+
+        Queued slot waiters are woken with the ``"channel-failed"``
+        marker so their swap-outs can degrade to the standard path; they
+        hold no reservation, so nothing is released.  Circulating pages
+        are swept separately by the injector.
+        """
+        self.failed = True
+        self.stats.add("failures")
+        self._void_waiters()
+
+    def drop_until(self, t: float) -> None:
+        """Transient drop: the channel is dark until time ``t``."""
+        if t > self._down_until:
+            self._down_until = t
+        self.stats.add("drops")
+        self._void_waiters()
+
+    def _void_waiters(self) -> None:
+        while self._slot_waiters:
+            self._slot_waiters.popleft().succeed("channel-failed")
 
     # -- storage ------------------------------------------------------------
     def insert(self, page: int) -> None:
@@ -168,6 +200,9 @@ class OpticalRing:
             CacheChannel(engine, cfg, owner=i // self.per_node, index=i)
             for i in range(cfg.ring_channels)
         ]
+        #: set by the fault injector when any optical fault mode is
+        #: active; gates the availability filter off the fault-free path
+        self._faulty = False
 
     def channels_of(self, node: int) -> List[CacheChannel]:
         """All cache channels written by ``node``."""
@@ -178,10 +213,19 @@ class OpticalRing:
         """The first cache channel owned (written) by ``node``."""
         return self.channels[node * self.per_node]
 
-    def best_channel(self, node: int) -> CacheChannel:
-        """The owned channel with the most free slots (swap-out target)."""
+    def best_channel(self, node: int) -> Optional[CacheChannel]:
+        """The owned channel with the most free slots (swap-out target).
+
+        Returns None when every channel the node owns is failed or
+        dropped — the caller degrades to the standard swap-out path.
+        """
+        channels = self.channels_of(node)
+        if self._faulty:
+            channels = [ch for ch in channels if ch.available()]
+            if not channels:
+                return None
         return min(
-            self.channels_of(node),
+            channels,
             key=lambda ch: (ch.n_stored + ch._reserved, ch.index),
         )
 

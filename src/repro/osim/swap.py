@@ -243,6 +243,11 @@ class SwapManager:
     ) -> Generator[Event, Any, str]:
         assert self.ring is not None
         channel = self.ring.best_channel(node)
+        if channel is None:
+            # Every channel this node owns is failed or dropped: degrade
+            # gracefully to the standard interconnect path.
+            self.metrics.faults.add("degraded_swapouts")
+            return (yield from self._standard_swap_out(node, page, entry))
         psize = self.cfg.page_size
         t0 = self.engine.now
         if entry.reclaim_requested:
@@ -255,10 +260,17 @@ class SwapManager:
         if not slot.triggered:
             reclaim = entry.reclaim_event()
             yield self.engine.any_of([slot, reclaim])
+            # A slot wait woken by a channel failure/drop carries the
+            # "channel-failed" marker and holds no reservation.
+            slot_failed = slot.triggered and slot.value == "channel-failed"
             if entry.reclaim_requested:
-                channel.cancel_reservation(slot)
+                if not slot_failed:
+                    channel.cancel_reservation(slot)
                 self.metrics.counts.add("swap_cancels")
                 return "cancelled"
+            if slot_failed:
+                self.metrics.faults.add("degraded_swapouts")
+                return (yield from self._standard_swap_out(node, page, entry))
         else:
             yield slot
         self.metrics.swapout_wait.record(self.engine.now - t_wait)
@@ -274,6 +286,12 @@ class SwapManager:
             finally:
                 bus._server.release(req)
         yield Timeout(engine, channel.insertion_time())
+        if not channel.available():
+            # The channel failed or dropped while the page was crossing
+            # the buses: give the slot back and degrade.
+            channel.release_reservation()
+            self.metrics.faults.add("degraded_swapouts")
+            return (yield from self._standard_swap_out(node, page, entry))
         channel.insert(page)
         entry.to_ring(channel=channel.index, swapper=node)
         # Control message to the responsible I/O node's interface.

@@ -352,6 +352,29 @@ class VmSystem:
         self.swap.ring.channels[entry.ring_channel].remove(page)
         entry.to_absent()
 
+    # ------------------------------------------------------------------ fault injection
+    def lose_ring_page(self, page: int) -> bool:
+        """Drop a page circulating on the optical ring (fault injection).
+
+        Only pages still *claimable* — queued in the responsible
+        interface's drain FIFO — can be lost; a page the drain is
+        already streaming off completes its journey to the disk cache
+        normally.  A lost page becomes ABSENT (settling any waiters), so
+        the next fault re-fetches it from the disk copy.  Returns True
+        when the page was actually lost.
+        """
+        entry = self.table[page]
+        if entry.state is not PageState.RING:
+            return False
+        channel = entry.ring_channel
+        iface = self.swap.interfaces.get(self.swap.io_node_of(page))
+        if iface is None or channel is None or not iface.try_claim(channel, page):
+            return False
+        assert self.swap.ring is not None
+        self.swap.ring.channels[channel].remove(page)
+        entry.to_absent()
+        return True
+
     # ------------------------------------------------------------------ replacement
     def _kick_daemon(self, node: int) -> None:
         ev = self._daemon_wakes[node]

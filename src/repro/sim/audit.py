@@ -19,7 +19,7 @@ they check (``repro.optical.audit``, ``repro.osim.audit``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.stats import Tally
@@ -116,6 +116,47 @@ class TallySanityInvariant(Invariant):
                 self.fail(f"{label}: min {t.min} > max {t.max}", now)
             if t._m2 < -1e-9:
                 self.fail(f"{label}: negative second moment {t._m2}", now)
+
+
+class FaultLogInvariant(Invariant):
+    """The fault injector's log stays coherent with its counters.
+
+    Every recorded fault bumped ``n_injected`` exactly once, record
+    times are non-decreasing and never in the simulated future, and
+    every record names a known layer.
+    """
+
+    name = "fault-log"
+
+    _LAYERS = frozenset(("disk", "optical", "hw"))
+
+    def __init__(self, injector: Any) -> None:
+        self.injector = injector
+        self._last_n = 0
+
+    def check(self, now: float) -> None:
+        inj = self.injector
+        log = inj.log
+        if inj.n_injected != len(log):
+            self.fail(
+                f"n_injected {inj.n_injected} != {len(log)} log records", now
+            )
+        if inj.n_injected < self._last_n:
+            self.fail(
+                f"n_injected shrank {self._last_n} -> {inj.n_injected}", now
+            )
+        for rec in log[self._last_n:]:
+            if rec.time > now + 1e-9:
+                self.fail(
+                    f"fault record at t={rec.time} is in the future", now
+                )
+            if rec.layer not in self._LAYERS:
+                self.fail(f"unknown fault layer {rec.layer!r}", now)
+        if log and any(
+            log[i].time > log[i + 1].time for i in range(len(log) - 1)
+        ):
+            self.fail("fault log times are not non-decreasing", now)
+        self._last_n = inj.n_injected
 
 
 #: signature of a violation observer (collect mode)

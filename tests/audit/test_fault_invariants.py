@@ -1,0 +1,135 @@
+"""Tamper tests for the fault-layer invariants.
+
+The three fault invariants (``fault-log``, ``disk-faults``,
+``channel-failures``) only register when a machine actually carries a
+fault injector, so they get their own fault-enabled fixture here rather
+than extending the baseline ``MidState``/``TAMPERS`` suite (whose
+completeness test pins the exact invariant set of a fault-free machine).
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.sim.audit import InvariantViolation
+from repro.sim.faults import FaultRecord
+
+from tests.audit.test_invariants_negative import TAMPERS as BASE_TAMPERS
+
+FAULT_INVARIANTS = {"fault-log", "disk-faults", "channel-failures"}
+
+
+@pytest.fixture
+def machine():
+    m = Machine(
+        SimConfig.tiny(audit=True, faults="disk_transient_rate=0.5"),
+        system="nwcache",
+    )
+    assert m.fault_injector is not None
+    return m
+
+
+def test_fault_invariants_register_only_with_an_injector(machine):
+    names = set(machine.auditor.names())
+    assert FAULT_INVARIANTS <= names
+    # exactly the baseline suite plus the three fault invariants
+    assert names == set(BASE_TAMPERS) | FAULT_INVARIANTS
+
+    plain = Machine(SimConfig.tiny(audit=True), system="nwcache")
+    assert set(plain.auditor.names()) == set(BASE_TAMPERS)
+
+
+def test_standard_machine_skips_the_ring_invariant():
+    m = Machine(
+        SimConfig.tiny(audit=True, faults="disk_transient_rate=0.5"),
+        system="standard",
+    )
+    names = set(m.auditor.names())
+    assert {"fault-log", "disk-faults"} <= names
+    assert "channel-failures" not in names
+
+
+def _expect(machine, name):
+    with pytest.raises(InvariantViolation) as exc_info:
+        machine.auditor.check_all()
+    assert exc_info.value.invariant == name
+
+
+# -------------------------------------------------------------- fault-log
+def test_counter_without_record_trips_fault_log(machine):
+    machine.auditor.check_all()
+    machine.fault_injector.n_injected += 1
+    _expect(machine, "fault-log")
+
+
+def test_future_record_trips_fault_log(machine):
+    machine.auditor.check_all()
+    machine.fault_injector.log.append(
+        FaultRecord(time=machine.engine.now + 5.0, layer="disk",
+                    kind="test", target="d0")
+    )
+    machine.fault_injector.n_injected += 1
+    _expect(machine, "fault-log")
+
+
+def test_unknown_layer_trips_fault_log(machine):
+    machine.auditor.check_all()
+    machine.fault_injector.log.append(
+        FaultRecord(time=0.0, layer="cosmic", kind="test", target="d0")
+    )
+    machine.fault_injector.n_injected += 1
+    _expect(machine, "fault-log")
+
+
+# ------------------------------------------------------------- disk-faults
+def test_unretried_disk_error_trips_disk_faults(machine):
+    machine.auditor.check_all()
+    machine.disks[0].n_errors += 1  # error without a controller retry
+    _expect(machine, "disk-faults")
+
+
+def test_healed_degraded_flag_trips_disk_faults(machine):
+    aud = machine.auditor
+    aud.check_all()
+    machine.disks[0].degraded = True  # degrading is legal...
+    aud.check_all()
+    machine.disks[0].degraded = False  # ...healing is not
+    _expect(machine, "disk-faults")
+
+
+def test_retry_outcomes_must_not_exceed_retries(machine):
+    machine.auditor.check_all()
+    machine.controllers[0].stats.add("io_recovered")
+    _expect(machine, "disk-faults")
+
+
+# -------------------------------------------------------- channel-failures
+def test_waiter_on_unavailable_channel_trips_invariant(machine):
+    aud = machine.auditor
+    ch = machine.ring.channels[0]
+    ch.fail()  # legal: failure voids its waiters...
+    aud.check_all()
+    # ...so a queued waiter afterwards is a leak.  Reserve every slot so
+    # the generic ring-occupancy check ("waiting while slots are free")
+    # stays quiet and the failure-specific invariant does the catching.
+    ch._reserved = ch.capacity
+    ch._slot_waiters.append(object())
+    _expect(machine, "channel-failures")
+
+
+def test_healed_channel_trips_invariant(machine):
+    aud = machine.auditor
+    ch = machine.ring.channels[0]
+    ch.fail()
+    aud.check_all()
+    ch.failed = False
+    _expect(machine, "channel-failures")
+
+
+def test_shrinking_drop_window_trips_invariant(machine):
+    aud = machine.auditor
+    ch = machine.ring.channels[0]
+    ch.drop_until(machine.engine.now + 100.0)
+    aud.check_all()
+    ch._down_until = machine.engine.now + 10.0
+    _expect(machine, "channel-failures")

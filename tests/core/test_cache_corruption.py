@@ -1,0 +1,138 @@
+"""Corruption handling of the on-disk result cache.
+
+Every way an entry can rot on disk — truncation, bit flips, a foreign
+file, a stale format, a wrong payload type — must read as a *miss* with
+the damaged file quarantined under ``<cache>/corrupt/``, never as a
+crash or (worse) a silently wrong result.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.batch import ExperimentSpec, run_batch
+from repro.core.cache import (
+    CACHE_FORMAT_VERSION,
+    CORRUPT_DIR,
+    CorruptCacheEntry,
+    ResultCache,
+    _RESULT_MAGIC,
+    read_envelope,
+    write_envelope,
+)
+from repro.core.runner import RunResult
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def warm_entry(tmp_path_factory):
+    """One real cached run; tests copy its bytes into fresh caches."""
+    root = tmp_path_factory.mktemp("seedcache")
+    cache = ResultCache(root)
+    spec = ExperimentSpec("sor", "nwcache", "naive", data_scale=SCALE)
+    run_batch([spec], jobs=1, cache=cache)
+    key = spec.key()
+    return spec, key, cache._path(key).read_bytes()
+
+
+def _plant(tmp_path, warm_entry, data: bytes):
+    spec, key, _ = warm_entry
+    cache = ResultCache(tmp_path)
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+    return cache, key, path
+
+
+def _assert_quarantined(cache, key, path):
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        assert cache.get(key) is None
+    assert not path.exists()
+    assert (cache.directory / CORRUPT_DIR / path.name).exists()
+    assert cache.stats()["misses"] == 1
+
+
+def test_truncated_entry_is_quarantined(tmp_path, warm_entry):
+    good = warm_entry[2]
+    cache, key, path = _plant(tmp_path, warm_entry, good[: len(good) // 2])
+    _assert_quarantined(cache, key, path)
+
+
+def test_bitflip_is_caught_by_checksum(tmp_path, warm_entry):
+    good = bytearray(warm_entry[2])
+    good[-20] ^= 0xFF  # flip a byte inside the pickled payload blob
+    cache, key, path = _plant(tmp_path, warm_entry, bytes(good))
+    _assert_quarantined(cache, key, path)
+
+
+def test_foreign_magic_is_rejected(tmp_path, warm_entry):
+    data = pickle.dumps(("some-other-tool", CACHE_FORMAT_VERSION, "0" * 64, b""))
+    cache, key, path = _plant(tmp_path, warm_entry, data)
+    _assert_quarantined(cache, key, path)
+
+
+def test_stale_format_version_is_rejected(tmp_path, warm_entry):
+    blob = pickle.dumps({"old": "payload"})
+    import hashlib
+
+    data = pickle.dumps(
+        (_RESULT_MAGIC, CACHE_FORMAT_VERSION - 1,
+         hashlib.sha256(blob).hexdigest(), blob)
+    )
+    cache, key, path = _plant(tmp_path, warm_entry, data)
+    _assert_quarantined(cache, key, path)
+
+
+def test_wrong_payload_type_is_rejected(tmp_path, warm_entry):
+    buf = tmp_path / "probe.pkl"
+    write_envelope(buf, _RESULT_MAGIC, CACHE_FORMAT_VERSION,
+                   {"not": "a RunResult"})
+    cache, key, path = _plant(tmp_path, warm_entry, buf.read_bytes())
+    _assert_quarantined(cache, key, path)
+
+
+def test_quarantined_files_leave_len_and_clear_alone(tmp_path, warm_entry):
+    cache, key, path = _plant(tmp_path, warm_entry, b"garbage")
+    with pytest.warns(RuntimeWarning):
+        cache.get(key)
+    assert len(cache) == 0
+    assert cache.clear() == 0
+    # the evidence survives a clear()
+    assert (cache.directory / CORRUPT_DIR / path.name).exists()
+
+
+def test_batch_recomputes_through_a_corrupt_entry(tmp_path, warm_entry):
+    """End to end: a rotten cache degrades to recomputation, not a crash."""
+    spec, key, good = warm_entry
+    cache, _, _ = _plant(tmp_path, warm_entry, good[:37])
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        (res,) = run_batch([spec], jobs=1, cache=cache)
+    assert isinstance(res, RunResult)
+    assert cache.stats() == {"hits": 0, "misses": 1}
+    # the recomputed result was re-cached over a clean slot
+    probe = ResultCache(tmp_path)
+    assert probe.get(key) is not None
+
+
+def test_good_entry_roundtrips_unwarned(tmp_path, warm_entry):
+    import warnings
+
+    cache, key, _ = _plant(tmp_path, warm_entry, warm_entry[2])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        res = cache.get(key)
+    assert isinstance(res, RunResult) and res.app == "sor"
+
+
+def test_read_envelope_error_messages(tmp_path):
+    path = tmp_path / "e.pkl"
+    path.write_bytes(b"junk")
+    with pytest.raises(CorruptCacheEntry, match="unreadable envelope"):
+        read_envelope(path, _RESULT_MAGIC, CACHE_FORMAT_VERSION)
+    path.write_bytes(pickle.dumps([1, 2]))
+    with pytest.raises(CorruptCacheEntry, match="bad envelope structure"):
+        read_envelope(path, _RESULT_MAGIC, CACHE_FORMAT_VERSION)
+    with pytest.raises(FileNotFoundError):
+        read_envelope(tmp_path / "absent.pkl", _RESULT_MAGIC,
+                      CACHE_FORMAT_VERSION)

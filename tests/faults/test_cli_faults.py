@@ -1,0 +1,69 @@
+"""CLI integration of the fault layer (``--faults`` / ``NWCACHE_FAULTS``)."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import fault_section
+from repro.core.runner import run_experiment
+
+
+def test_run_with_faults_prints_accounting(capsys):
+    rc = main([
+        "run", "sor", "--scale", "0.05", "--system", "nwcache",
+        "--faults", "node_stall_interval_pcycles=2e5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "faults injected" in out
+    assert "node_stall=" in out
+
+
+def test_run_without_faults_prints_no_fault_line(capsys):
+    rc = main(["run", "sor", "--scale", "0.05", "--system", "nwcache"])
+    assert rc == 0
+    assert "faults injected" not in capsys.readouterr().out
+
+
+def test_run_rejects_bad_fault_spec():
+    with pytest.raises(ValueError, match="unknown fault spec key"):
+        main(["run", "sor", "--scale", "0.05", "--faults", "bogus=1"])
+
+
+def test_env_var_supplies_default_plan(capsys, monkeypatch):
+    monkeypatch.setenv("NWCACHE_FAULTS", "node_stall_interval_pcycles=2e5")
+    rc = main(["run", "sor", "--scale", "0.05", "--system", "nwcache"])
+    assert rc == 0
+    assert "faults injected" in capsys.readouterr().out
+
+
+def test_batch_with_faults(capsys):
+    rc = main([
+        "batch", "--apps", "sor", "--systems", "nwcache",
+        "--prefetchers", "naive", "--scale", "0.05", "--jobs", "1",
+        "--no-cache", "--faults", "node_stall_interval_pcycles=2e5",
+    ])
+    assert rc == 0
+    assert "sor" in capsys.readouterr().out
+
+
+def test_report_includes_fault_table(capsys):
+    rc = main([
+        "run", "sor", "--scale", "0.05", "--system", "nwcache",
+        "--report", "--faults", "node_stall_interval_pcycles=2e5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fault accounting" in out
+    assert "node_stall" in out
+
+
+def test_fault_section_report():
+    res = run_experiment(
+        "sor", "nwcache", "naive", data_scale=0.05,
+        faults="node_stall_interval_pcycles=2e5",
+    )
+    text = fault_section(res)
+    assert "Fault accounting" in text
+    assert "node_stall" in text
+    clean = run_experiment("sor", "nwcache", "naive", data_scale=0.05)
+    assert fault_section(clean) == ""

@@ -1,0 +1,161 @@
+"""Unit tests of the per-component fault hooks.
+
+Everything here drives real model objects synchronously (no engine run)
+so each behaviour — error rolls, retry accounting, channel failure and
+drop semantics, waiter voiding, delay-line page loss — is pinned in
+isolation.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.sim.faults import DiskFaultState, FaultPlan
+from repro.osim.pagetable import PageState
+
+from tests.audit.test_invariants_negative import MidState, sync_alloc
+
+
+class FakeRng:
+    """Deterministic uniform stream for rate tests."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self):
+        return self.values.pop(0)
+
+
+# ------------------------------------------------------------ DiskFaultState
+def test_roll_error_uses_transient_rate_when_healthy():
+    st = DiskFaultState(
+        FaultPlan(disk_transient_rate=0.5), FakeRng([0.4, 0.6])
+    )
+    assert st.roll_error() is True    # 0.4 < 0.5
+    assert st.roll_error() is False   # 0.6 >= 0.5
+
+
+def test_roll_error_switches_to_degraded_rate():
+    st = DiskFaultState(
+        FaultPlan(disk_transient_rate=0.0, disk_degraded_rate=0.9),
+        FakeRng([0.5]),
+    )
+    assert st.roll_error() is False   # healthy: rate 0 -> no draw at all
+    st.degraded = True
+    assert st.roll_error() is True    # 0.5 < 0.9
+
+
+def test_zero_rate_never_draws():
+    st = DiskFaultState(FaultPlan(), FakeRng([]))
+    assert st.roll_error() is False   # empty stream would raise on a draw
+
+
+def test_service_penalty_only_when_degraded():
+    st = DiskFaultState(
+        FaultPlan(disk_degraded_penalty_pcycles=123.0), FakeRng([])
+    )
+    assert st.service_penalty() == 0.0
+    st.degraded = True
+    assert st.service_penalty() == 123.0
+
+
+# ------------------------------------------------------------- CacheChannel
+@pytest.fixture
+def ring_machine():
+    return Machine(SimConfig.tiny(), system="nwcache")
+
+
+def test_channel_fail_is_permanent_and_voids_waiters(ring_machine):
+    ch = ring_machine.ring.channels[0]
+    # fill the channel so a reservation has to wait
+    for page in range(ch.capacity):
+        ch.reserve_slot()
+        ch.insert(page + 1000)
+    waiter = ch.reserve_slot()
+    assert not waiter.triggered
+    ch.fail()
+    assert ch.failed and not ch.available()
+    assert waiter.triggered and waiter.value == "channel-failed"
+    assert not ch._slot_waiters
+    assert ch.stats["failures"] == 1
+
+
+def test_channel_drop_is_transient(ring_machine):
+    eng = ring_machine.engine
+    ch = ring_machine.ring.channels[0]
+    assert ch.available()
+    ch.drop_until(eng.now + 100.0)
+    assert not ch.available()
+    assert ch.stats["drops"] == 1
+    # drop windows only extend, never shrink
+    ch.drop_until(eng.now + 50.0)
+    assert ch._down_until == eng.now + 100.0
+    eng._now = eng.now + 101.0
+    assert ch.available()
+
+
+def test_best_channel_skips_unavailable_only_when_faulty(ring_machine):
+    ring = ring_machine.ring
+    node = 0
+    healthy = ring.best_channel(node)
+    assert healthy is not None
+    ring._faulty = True
+    healthy.fail()
+    alt = ring.best_channel(node)
+    if alt is not None:
+        assert alt.available() and alt is not healthy
+    # kill everything this node can reach -> graceful None
+    for ch in ring.channels:
+        if not ch.failed:
+            ch.fail()
+    assert ring.best_channel(node) is None
+
+
+# ------------------------------------------------------------ page loss
+def test_lose_ring_page_removes_page_and_claims_fifo_entry():
+    s = MidState()
+    vm = s.machine.vm
+    page = s.ring_pages[0]
+    assert vm.table[page].state is PageState.RING
+    assert page in s.channel.pages()
+    n_queued = s.iface.pending(s.channel.index)
+    assert vm.lose_ring_page(page) is True
+    assert vm.table[page].state is PageState.ABSENT
+    assert page not in s.channel.pages()
+    assert s.iface.pending(s.channel.index) == n_queued - 1
+    # losing it twice is a no-op
+    assert vm.lose_ring_page(page) is False
+    # auditors still find a conserved machine afterwards
+    assert s.machine.auditor.check_all() == len(s.machine.auditor.invariants)
+
+
+def test_lose_ring_page_refuses_drained_pages():
+    """A page already popped by the drain (not claimable) must survive."""
+    s = MidState()
+    vm = s.machine.vm
+    page = s.ring_pages[0]
+    assert s.iface.try_claim(s.channel.index, page)  # drain took it
+    assert vm.lose_ring_page(page) is False
+    assert vm.table[page].state is PageState.RING
+
+
+# ------------------------------------------------------- controller retries
+def test_retrying_io_counts_and_recovers():
+    m = Machine(
+        SimConfig.tiny(faults="disk_transient_rate=0.0"), system="standard"
+    )
+    # plan present but rate 0: injector exists only if plan is not noop;
+    # a zero-rate plan is noop, so no wrapper is installed.
+    assert m.fault_injector is None
+
+    m2 = Machine(
+        SimConfig.tiny(faults="disk_transient_rate=0.5,max_retries=2"),
+        system="standard",
+    )
+    assert m2.fault_injector is not None
+    ctrl = m2.controllers[0]
+    assert ctrl._io == ctrl._retrying_io
+    assert ctrl._fault_plan.max_retries == 2
+    for disk in m2.disks:
+        assert disk._faults is not None
+        assert disk._faults.plan.disk_transient_rate == 0.5

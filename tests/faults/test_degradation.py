@@ -1,0 +1,74 @@
+"""Graceful-degradation oracle: NWCache minus its ring == standard.
+
+When every cache channel fails at t=0, every ring swap-out must fall
+back to the standard interconnect path, so the NWCache machine's
+observable behaviour collapses onto the standard machine's (same
+min-free setting): same execution time, same swap-out count, same
+network traffic — plus a degradation trail in the fault accounting.
+"""
+
+import pytest
+
+from repro.core.runner import experiment_config, run_experiment
+from repro.sim.faults import FaultPlan
+
+SCALE = 0.1
+MIN_FREE = 4  # same replacement dynamics on both machines
+
+#: the two heaviest swappers at this scale (392 / 810 golden swap-outs)
+APPS = ("sor", "gauss")
+
+
+def all_channels_failed() -> FaultPlan:
+    cfg = experiment_config(SCALE)
+    return FaultPlan(
+        channel_failures=tuple((i, 0.0) for i in range(cfg.ring_channels))
+    )
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_dead_ring_degrades_to_standard_machine(app):
+    std = run_experiment(
+        app, "standard", "naive", data_scale=SCALE, min_free=MIN_FREE
+    )
+    nwc = run_experiment(
+        app, "nwcache", "naive", data_scale=SCALE, min_free=MIN_FREE,
+        faults=all_channels_failed(),
+    )
+    # Every swap-out degraded; none reached the ring.
+    assert nwc.metrics.counts["swapouts"] > 0
+    assert nwc.metrics.faults["degraded_swapouts"] >= nwc.metrics.counts["swapouts"]
+    assert nwc.metrics.counts["ring_hits"] == 0
+    assert nwc.ring_hit_rate == 0.0
+    # The oracle: identical observable behaviour to the standard machine.
+    assert nwc.exec_time == pytest.approx(std.exec_time, rel=1e-9)
+    assert nwc.metrics.counts["swapouts"] == std.metrics.counts["swapouts"]
+    assert nwc.network_bytes == std.network_bytes
+    assert nwc.swapout_mean == pytest.approx(std.swapout_mean, rel=1e-9)
+
+
+def test_partial_failure_sits_between_healthy_and_dead(app="sor"):
+    """Failing half the channels must not beat a healthy ring and must
+    not behave worse than a fully dead one."""
+    cfg = experiment_config(SCALE)
+    half = FaultPlan(
+        channel_failures=tuple(
+            (i, 0.0) for i in range(cfg.ring_channels // 2)
+        )
+    )
+    healthy = run_experiment(
+        app, "nwcache", "naive", data_scale=SCALE, min_free=MIN_FREE
+    )
+    partial = run_experiment(
+        app, "nwcache", "naive", data_scale=SCALE, min_free=MIN_FREE,
+        faults=half,
+    )
+    dead = run_experiment(
+        app, "nwcache", "naive", data_scale=SCALE, min_free=MIN_FREE,
+        faults=all_channels_failed(),
+    )
+    assert healthy.metrics.faults.as_dict() == {}
+    # nodes whose channel died degrade; the rest still use the ring
+    assert partial.metrics.faults["degraded_swapouts"] > 0
+    assert partial.metrics.counts["ring_hits"] > 0
+    assert healthy.exec_time <= partial.exec_time <= dead.exec_time

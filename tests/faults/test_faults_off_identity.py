@@ -1,0 +1,68 @@
+"""The fault layer is bit-exact zero-cost when disabled.
+
+Running every application with an explicit no-op FaultPlan must produce
+the *identical* snapshot the golden files pin for a run with no plan at
+all: a noop plan builds no injector, installs no hooks, and perturbs no
+RNG stream.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import APP_NAMES, make_app
+from repro.core.machine import Machine
+from repro.core.runner import experiment_config, linear_scale, run_experiment
+from repro.sim.faults import FaultPlan
+
+from tests.regression.test_golden_traces import (
+    APPROX_KEYS,
+    EXACT_KEYS,
+    GOLDEN_DIR,
+    PREFETCH,
+    SCALE,
+    SYSTEM,
+    snapshot,
+)
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_noop_plan_matches_golden(app):
+    res = run_experiment(
+        app, SYSTEM, PREFETCH, data_scale=SCALE, faults=FaultPlan()
+    )
+    snap = snapshot(res)
+    want = json.loads((GOLDEN_DIR / f"{app}.json").read_text())
+    for key in EXACT_KEYS:
+        assert snap[key] == want[key], f"{app}: {key} diverged with noop plan"
+    for key in APPROX_KEYS:
+        assert snap[key] == pytest.approx(want[key], rel=1e-9), (
+            f"{app}: {key} diverged with noop plan"
+        )
+
+
+def test_noop_plan_builds_no_injector():
+    cfg = experiment_config(SCALE, min_free=2, faults=FaultPlan())
+    machine = Machine(cfg, system=SYSTEM, prefetch=PREFETCH)
+    assert machine.fault_injector is None
+    res = machine.run(make_app("sor", scale=linear_scale("sor", SCALE)))
+    assert res.metrics.faults.as_dict() == {}
+    assert "faults_injected" not in res.extras
+    # "fault_latency_mean_pcycles" is the page-fault latency (always
+    # present); the injection layer contributes nothing else.
+    injected_keys = [
+        k for k in res.metrics.summary()
+        if k.startswith("fault_") and k != "fault_latency_mean_pcycles"
+    ]
+    assert injected_keys == []
+
+
+def test_noop_plan_leaves_components_on_fast_defaults():
+    cfg = experiment_config(SCALE, min_free=2, faults=FaultPlan())
+    machine = Machine(cfg, system=SYSTEM, prefetch=PREFETCH)
+    for disk in machine.disks:
+        assert disk._faults is None
+    for ctrl in machine.controllers:
+        assert ctrl._io == ctrl.disk.io  # bare disk op, no retry wrapper
+        assert ctrl._fault_plan is None
+    assert machine.ring is not None and not machine.ring._faulty

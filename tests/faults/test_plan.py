@@ -1,0 +1,109 @@
+"""FaultPlan construction, spec parsing, and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.faults import FaultPlan, parse_fault_spec
+
+
+def test_default_plan_is_noop():
+    plan = FaultPlan()
+    assert plan.is_noop()
+    assert not plan.wants_disk_faults
+    assert not plan.wants_optical_faults
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"disk_transient_rate": 0.01},
+        {"disk_degraded": ((0, 0.0),)},
+        {"channel_failures": ((0, 0.0),)},
+        {"channel_drop_interval_pcycles": 1e6},
+        {"ring_page_loss_interval_pcycles": 1e6},
+        {"node_stall_interval_pcycles": 1e6},
+        {"link_stall_interval_pcycles": 1e6},
+    ],
+)
+def test_any_enabled_mode_defeats_noop(kwargs):
+    assert not FaultPlan(**kwargs).is_noop()
+
+
+def test_parse_scalars_and_schedules():
+    plan = parse_fault_spec(
+        "disk_transient_rate=0.01,max_retries=2,"
+        "channel_failures=0;2@2e6,disk_degraded=1@5e5,"
+        "node_stall_interval_pcycles=1e6"
+    )
+    assert plan.disk_transient_rate == 0.01
+    assert plan.max_retries == 2
+    assert plan.channel_failures == ((0, 0.0), (2, 2_000_000.0))
+    assert plan.disk_degraded == ((1, 500_000.0),)
+    assert plan.node_stall_interval_pcycles == 1e6
+
+
+def test_parse_empty_spec_is_noop():
+    assert parse_fault_spec("").is_noop()
+    assert parse_fault_spec(" , ").is_noop()
+
+
+def test_parse_rejects_unknown_key():
+    with pytest.raises(ValueError, match="unknown fault spec key"):
+        parse_fault_spec("disk_transient=0.01")
+
+
+def test_parse_rejects_bare_word():
+    with pytest.raises(ValueError, match="key=value"):
+        parse_fault_spec("disk_transient_rate")
+
+
+def test_validate_rejects_bad_rate():
+    cfg = SimConfig.tiny()
+    with pytest.raises(ValueError, match="disk_transient_rate"):
+        FaultPlan(disk_transient_rate=1.5).validate(cfg)
+
+
+def test_validate_rejects_negative_interval():
+    cfg = SimConfig.tiny()
+    with pytest.raises(ValueError, match="node_stall_interval_pcycles"):
+        FaultPlan(node_stall_interval_pcycles=-1.0).validate(cfg)
+
+
+def test_validate_rejects_out_of_range_channel():
+    cfg = SimConfig.tiny()
+    bad = cfg.ring_channels
+    with pytest.raises(ValueError, match="channel_failures index"):
+        FaultPlan(channel_failures=((bad, 0.0),)).validate(cfg)
+
+
+def test_validate_rejects_out_of_range_disk():
+    cfg = SimConfig.tiny()
+    bad = cfg.n_io_nodes
+    with pytest.raises(ValueError, match="disk_degraded index"):
+        FaultPlan(disk_degraded=((bad, 0.0),)).validate(cfg)
+
+
+def test_simconfig_normalizes_spec_strings():
+    cfg = SimConfig.tiny(faults="disk_transient_rate=0.01")
+    assert isinstance(cfg.faults, FaultPlan)
+    assert cfg.faults.disk_transient_rate == 0.01
+
+
+def test_simconfig_validates_plans_on_construction():
+    with pytest.raises(ValueError, match="channel_failures index"):
+        SimConfig.tiny(faults="channel_failures=9999")
+
+
+def test_plan_survives_config_replace():
+    cfg = SimConfig.tiny(faults="disk_transient_rate=0.01")
+    cfg2 = cfg.replace(seed=cfg.seed + 1)
+    assert cfg2.faults == cfg.faults
+
+
+def test_plan_folds_into_config_asdict():
+    """cache_key hashes asdict(cfg); the plan must appear in it."""
+    cfg = SimConfig.tiny(faults="disk_transient_rate=0.25")
+    d = dataclasses.asdict(cfg)
+    assert d["faults"]["disk_transient_rate"] == 0.25

@@ -58,3 +58,12 @@ def test_victim_cache_study():
 def test_disk_cache_sweep():
     out = run_example("disk_cache_sweep.py", "sor", "0.1")
     assert "vs NWCache" in out
+
+
+@pytest.mark.slow
+def test_degradation_sweep():
+    out = run_example("degradation_sweep.py", "sor", "0.1")
+    assert "vs standard" in out
+    assert "degrades gracefully" in out
+    # the dead-ring row collapses onto the standard machine exactly
+    assert "1.00x" in out.splitlines()[-6]
