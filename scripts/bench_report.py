@@ -92,25 +92,41 @@ def bench_cell(scale: float) -> dict:
 
 
 def bench_grid(scale: float, jobs: int, tmp_cache: Path) -> dict:
-    """Serial vs parallel vs warm-cache wall-clock for a small grid."""
+    """Serial vs parallel vs warm-cache wall-clock for a small grid.
+
+    ``jobs`` is the worker count for the parallel measurement (the
+    caller picks ``min(4, cpu_count)`` unless overridden); it is
+    recorded in the report so speedups are interpretable.  On a
+    single-CPU machine the parallel run would measure process-spawn
+    overhead, not parallelism, so it is skipped and annotated.
+    """
     specs = grid_specs(
         ["sor", "gauss"], ("standard", "nwcache"), ("optimal",),
         data_scale=scale,
     )
     serial = _timed(lambda: run_batch(specs, jobs=1, cache=False))
-    parallel = _timed(lambda: run_batch(specs, jobs=jobs, cache=False))
-    cache = ResultCache(tmp_cache)
-    run_batch(specs, jobs=jobs, cache=cache)  # populate
-    warm = _timed(lambda: run_batch(specs, jobs=jobs, cache=ResultCache(tmp_cache)))
-    return {
+    out = {
         "cells": len(specs),
         "jobs": jobs,
         "serial_seconds": serial,
-        "parallel_seconds": parallel,
-        "parallel_speedup": serial / parallel if parallel > 0 else 0.0,
-        "warm_cache_seconds": warm,
-        "warm_cache_fraction_of_serial": warm / serial if serial > 0 else 0.0,
     }
+    if jobs > 1:
+        parallel = _timed(lambda: run_batch(specs, jobs=jobs, cache=False))
+        out["parallel_seconds"] = parallel
+        out["parallel_speedup"] = serial / parallel if parallel > 0 else 0.0
+    else:
+        out["parallel_skipped"] = (
+            "single CPU: a parallel run would measure process-spawn "
+            "overhead, not parallelism"
+        )
+    cache = ResultCache(tmp_cache)
+    run_batch(specs, jobs=jobs, cache=cache)  # populate
+    warm = _timed(lambda: run_batch(specs, jobs=jobs, cache=ResultCache(tmp_cache)))
+    out["warm_cache_seconds"] = warm
+    out["warm_cache_fraction_of_serial"] = (
+        warm / serial if serial > 0 else 0.0
+    )
+    return out
 
 
 def bench_traces(scale: float) -> dict:
@@ -157,17 +173,24 @@ app, scale, compiled = sys.argv[1], float(sys.argv[2]), sys.argv[3]
 kw = {} if compiled == "-" else {"compiled_traces": compiled == "1"}
 run_pair(app, data_scale=scale, **kw)  # warm-up
 t0 = time.perf_counter()
-run_pair(app, data_scale=scale, **kw)
-print(time.perf_counter() - t0)
+std, nwc = run_pair(app, data_scale=scale, **kw)
+dt = time.perf_counter() - t0
+ev = getattr(std, "events_processed", None)
+if ev is None:  # baseline trees may predate event reporting
+    print(dt)
+else:
+    print(dt, ev + nwc.events_processed)
 """
 
 
-def _pair_once(app: str, scale: float, compiled: str, tree=None) -> float:
+def _pair_once(app: str, scale: float, compiled: str, tree=None):
     """One subprocess pair measurement (second run of two, timed).
 
-    ``compiled`` is "1"/"0" for the current tree, "-" for a baseline
-    tree whose ``run_pair`` has no ``compiled_traces`` parameter;
-    ``tree`` points PYTHONPATH at an alternative checkout.
+    Returns ``(seconds, events)``; ``events`` is ``None`` when the tree
+    predates event reporting.  ``compiled`` is "1"/"0" for the current
+    tree, "-" for a baseline tree whose ``run_pair`` has no
+    ``compiled_traces`` parameter; ``tree`` points PYTHONPATH at an
+    alternative checkout.
     """
     import os
     import subprocess
@@ -183,7 +206,10 @@ def _pair_once(app: str, scale: float, compiled: str, tree=None) -> float:
         [sys.executable, "-c", _PAIR_SNIPPET, app, str(scale), compiled],
         env=env, capture_output=True, text=True, check=True,
     )
-    return float(out.stdout.strip())
+    fields = out.stdout.split()
+    seconds = float(fields[0])
+    events = int(fields[1]) if len(fields) > 1 else None
+    return seconds, events
 
 
 def bench_pairs(
@@ -209,16 +235,22 @@ def bench_pairs(
     apps = {}
     for app in PAIR_APPS:
         base = gen = warm = math.inf
+        events = None
         for _ in range(5):
             if baseline_tree:
-                base = min(base, _pair_once(app, scale, "-", baseline_tree))
-            gen = min(gen, _pair_once(app, scale, "0"))
-            warm = min(warm, _pair_once(app, scale, "1"))
+                base = min(base, _pair_once(app, scale, "-", baseline_tree)[0])
+            gen = min(gen, _pair_once(app, scale, "0")[0])
+            warm_s, warm_ev = _pair_once(app, scale, "1")
+            if warm_s < warm:
+                warm, events = warm_s, warm_ev
         entry = {
             "generator_s": gen,
             "warm_trace_s": warm,
             "speedup_warm_vs_generator": gen / warm if warm > 0 else 0.0,
         }
+        if events is not None and warm > 0:
+            entry["events_processed"] = events
+            entry["events_per_second"] = events / warm
         base_gen = (
             base if baseline_tree else base_pairs.get(app, {}).get("generator_s")
         )
@@ -243,6 +275,51 @@ def bench_pairs(
     return out
 
 
+def bench_epochs(sweeps: int = 20_000) -> dict:
+    """Epoch executor on an epoch-friendly in-core compute phase.
+
+    Runs the synthetic ``ComputePhase`` workload (per-CPU private page
+    groups, pure cache hits after warm-up — the regime the epoch
+    executor batches) with epochs on vs off, in-process, best-of-3 after
+    a warm-up that also populates the trace and plan caches.  The two
+    runs are asserted bit-identical before timing is trusted.
+    """
+    from repro.apps.synth import ComputePhase
+    from repro.core.runner import run_experiment
+
+    def mk():
+        return ComputePhase(pages=64, sweeps=sweeps, think=5.0)
+
+    def snapshot(res):
+        d = dict(vars(res))
+        d.pop("metrics", None)  # wall-clock noise
+        return repr(d)
+
+    r_off = run_experiment(mk(), epoch_exec=False)  # warm + reference
+    r_on = run_experiment(mk(), epoch_exec=True)
+    if snapshot(r_off) != snapshot(r_on):
+        raise RuntimeError(
+            "epoch executor diverged from the event kernel on the "
+            "compute phase — timings would be meaningless"
+        )
+    t_off = _best_of(lambda: run_experiment(mk(), epoch_exec=False))
+    t_on = _best_of(lambda: run_experiment(mk(), epoch_exec=True))
+    wl = mk()
+    items = 8 * wl.sweeps * (wl.pages // 8)  # visits across all CPUs
+    return {
+        "workload": f"compute-phase pages=64 sweeps={sweeps} think=5",
+        "items": items,
+        "events_processed": r_on.events_processed,
+        "epochs_off_seconds": t_off,
+        "epochs_on_seconds": t_on,
+        "epochs_off_items_per_second": items / t_off,
+        "epochs_on_items_per_second": items / t_on,
+        "epochs_off_events_per_second": r_off.events_processed / t_off,
+        "epochs_on_events_per_second": r_on.events_processed / t_on,
+        "speedup": t_off / t_on if t_on > 0 else 0.0,
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--scale", type=float, default=0.1)
@@ -259,7 +336,10 @@ def main() -> int:
              "with this tree's pair runs; overrides --baseline timings",
     )
     args = ap.parse_args()
-    jobs = args.jobs if args.jobs is not None else default_jobs()
+    # The grid parallel measurement wants a small fixed worker count:
+    # default_jobs() (= all cores) drags scheduler noise in on wide
+    # machines, and jobs=1 measures nothing.
+    jobs = args.jobs if args.jobs is not None else min(4, default_jobs())
     baseline = (
         json.loads(args.baseline.read_text()) if args.baseline else None
     )
@@ -286,6 +366,9 @@ def main() -> int:
         report["grid"] = bench_grid(args.scale, jobs, Path(tmp))
     print("benchmarking trace compilation (cold vs warm) ...", file=sys.stderr)
     report["trace"] = bench_traces(args.scale)
+    print("benchmarking epoch execution (compute phase, on vs off) ...",
+          file=sys.stderr)
+    report["epoch"] = bench_epochs()
     print("benchmarking standard+NWCache pairs (generator vs warm trace) ...",
           file=sys.stderr)
     report["pair"] = bench_pairs(args.scale, baseline, args.baseline_tree)
@@ -304,10 +387,17 @@ def main() -> int:
     print(f"cell simulation    : {report['cell']['events_per_second']:,.0f} ev/s "
           f"({report['cell']['wall_seconds']:.2f}s)")
     print(f"grid serial        : {g['serial_seconds']:.2f}s")
-    print(f"grid parallel x{g['jobs']:<3d}: {g['parallel_seconds']:.2f}s "
-          f"({g['parallel_speedup']:.2f}x)")
+    if "parallel_seconds" in g:
+        print(f"grid parallel x{g['jobs']:<3d}: {g['parallel_seconds']:.2f}s "
+              f"({g['parallel_speedup']:.2f}x)")
+    else:
+        print("grid parallel      : skipped (single CPU)")
     print(f"grid warm cache    : {g['warm_cache_seconds']:.3f}s "
           f"({g['warm_cache_fraction_of_serial']:.1%} of serial)")
+    e = report["epoch"]
+    print(f"epoch phase        : {e['speedup']:.1f}x "
+          f"({e['epochs_off_seconds']:.2f}s -> {e['epochs_on_seconds']:.2f}s, "
+          f"{e['epochs_on_items_per_second']:,.0f} items/s)")
     p = report["pair"]
     print(f"pair warm/generator: x{p['geomean_speedup_warm_vs_generator']:.2f} "
           "geomean")

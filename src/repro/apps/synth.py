@@ -1,0 +1,82 @@
+"""Synthetic diagnostic workloads (not part of the Table 2 suite).
+
+These drivers exist to exercise specific machine regimes in isolation —
+benchmarks and tests construct them directly; they are deliberately not
+registered in :data:`repro.apps.APP_NAMES`, so the CLI and the paper's
+evaluation grid never see them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stream, Workload, barrier, block_range, visit
+from repro.sim.rng import RngRegistry
+
+
+class ComputePhase(Workload):
+    """An epoch-friendly in-core compute phase.
+
+    Every processor repeatedly sweeps a small private group of pages —
+    the working set fits the L2 reuse window, the TLB, and node memory,
+    so after the cold first touches the stream is one long run of cache
+    hits with no cross-processor interaction.  This is the regime the
+    epoch executor (``Cpu.run_epochs``) collapses into vectorized steps:
+    the phase bounds its best case, the way a bandwidth microbenchmark
+    bounds a memory system.
+
+    Parameters
+    ----------
+    pages:
+        Total data pages, partitioned contiguously across processors
+        (keep ``pages / n_nodes`` at or below the machine's
+        ``l2_resident_pages`` and ``tlb_entries`` for a pure phase).
+    sweeps:
+        Full passes each processor makes over its group, scaled by the
+        workload ``scale``.
+    n_reads / n_writes:
+        Accesses charged per visit.
+    think:
+        Think cycles per visit.
+    """
+
+    name = "compute-phase"
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        scale: float = 1.0,
+        pages: int = 64,
+        sweeps: int = 1000,
+        n_reads: int = 1,
+        n_writes: int = 0,
+        think: float = 25.0,
+    ) -> None:
+        super().__init__(page_size=page_size, scale=scale)
+        if pages < 1 or sweeps < 1:
+            raise ValueError("pages and sweeps must be positive")
+        self.pages = int(pages)
+        self.sweeps = max(1, int(round(sweeps * scale)))
+        self.n_reads = int(n_reads)
+        self.n_writes = int(n_writes)
+        self.think = float(think)
+
+    @property
+    def total_pages(self) -> int:
+        return self.pages
+
+    def streams(
+        self, n_nodes: int, page_base: int, rng: RngRegistry
+    ) -> List[Stream]:
+        def proc(part: int) -> Stream:
+            group = [
+                page_base + p
+                for p in block_range(self.pages, n_nodes, part)
+            ]
+            yield barrier(("compute-phase", "start"))
+            for _ in range(self.sweeps):
+                for g in group:
+                    yield visit(g, self.n_reads, self.n_writes, self.think)
+            yield barrier(("compute-phase", "end"))
+
+        return [proc(part) for part in range(n_nodes)]

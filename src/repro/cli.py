@@ -18,8 +18,10 @@ Commands
     Compile an app's reference streams into the on-disk trace cache.
 
 ``run`` accepts ``--profile [PATH]`` (cProfile the run for hot-path
-triage) and ``--no-compiled-traces`` (use live driver generators; the
-compiled trace path is trajectory-neutral, so results are identical).
+triage), ``--no-compiled-traces`` (use live driver generators; the
+compiled trace path is trajectory-neutral, so results are identical)
+and ``--no-epochs`` (disable vectorized epoch execution of compiled
+traces; likewise trajectory-neutral).
 
 ``run`` and ``batch`` accept ``--faults SPEC``: a fault-injection plan
 such as ``disk_transient_rate=0.01,channel_failures=0@2e6`` (see
@@ -131,6 +133,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def _run_once(args: argparse.Namespace) -> int:
     compiled = False if args.no_compiled_traces else None
+    epochs = False if args.no_epochs else None
     if args.report:
         from repro.core.inspect import machine_report
         from repro.core.machine import Machine
@@ -143,7 +146,7 @@ def _run_once(args: argparse.Namespace) -> int:
             faults=args.faults,
         )
         machine = Machine(cfg, system=args.system, prefetch=args.prefetch,
-                          compiled_traces=compiled)
+                          compiled_traces=compiled, epoch_exec=epochs)
         app = make_app(args.app, scale=linear_scale(args.app, args.scale))
         res = machine.run(app)
         print(_summary(res))
@@ -157,7 +160,7 @@ def _run_once(args: argparse.Namespace) -> int:
         res = run_experiment(
             args.app, args.system, args.prefetch, data_scale=args.scale,
             audit=args.audit or None, compiled_traces=compiled,
-            faults=args.faults,
+            epoch_exec=epochs, faults=args.faults,
         )
         print(_summary(res))
     if args.json:
@@ -384,6 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-compiled-traces", action="store_true",
                    help="feed CPUs from live driver generators instead of "
                         "the compiled reference trace (results identical)")
+    p.add_argument("--no-epochs", action="store_true",
+                   help="disable vectorized epoch execution of compiled "
+                        "traces (results identical; epochs only change "
+                        "wall-clock speed)")
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="fault-injection plan, e.g. "
                         "'disk_transient_rate=0.01,channel_failures=0@2e6' "

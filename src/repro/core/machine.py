@@ -51,6 +51,15 @@ def _compiled_traces_default() -> bool:
     )
 
 
+def _epoch_exec_default() -> bool:
+    """Epoch execution is on unless ``NWCACHE_EPOCH_EXEC=0``."""
+    import os
+
+    return os.environ.get("NWCACHE_EPOCH_EXEC", "").lower() not in (
+        "0", "false", "no",
+    )
+
+
 def io_node_ids(cfg: SimConfig) -> List[int]:
     """Evenly-spaced I/O-enabled node ids (e.g. [0, 2, 4, 6] for 8/4)."""
     n, k = cfg.n_nodes, cfg.n_io_nodes
@@ -102,6 +111,7 @@ class Machine:
         prefetch: str = "optimal",
         drain_policy: str = DRAIN_MOST_LOADED,
         compiled_traces: Optional[bool] = None,
+        epoch_exec: Optional[bool] = None,
     ) -> None:
         if system not in (SYSTEM_STANDARD, SYSTEM_NWCACHE):
             raise ValueError(f"unknown system {system!r}")
@@ -110,6 +120,13 @@ class Machine:
         if compiled_traces is None:
             compiled_traces = _compiled_traces_default()
         self.compiled_traces = bool(compiled_traces)
+        if epoch_exec is None:
+            epoch_exec = _epoch_exec_default()
+        #: vectorized epoch execution of compiled traces (requires the
+        #: compiled path; trajectory-neutral, see ``Cpu.run_epochs``).
+        #: Disable with ``epoch_exec=False``, ``--no-epochs``, or
+        #: ``NWCACHE_EPOCH_EXEC=0``.
+        self.epoch_exec = bool(epoch_exec)
         self.prefetch = PrefetchMode(prefetch)
         self.engine = Engine()
         self.rng = RngRegistry(cfg.seed)
@@ -264,10 +281,23 @@ class Machine:
             # Compiled fast path: replay the workload's array-backed
             # trace (shared via repro.core.trace across the
             # standard/NWCache pair and every sweep/batch point).
-            procs = [
-                self.engine.process(cpu.run_compiled(trace, n, pages.start))
-                for n, cpu in enumerate(self.cpus)
-            ]
+            # Epoch execution additionally batches non-interacting runs
+            # of visits into vectorized steps; it needs every
+            # replacement policy to accept batched touches.
+            use_epochs = self.epoch_exec and all(
+                getattr(p, "epoch_touch_safe", False) for p in self.vm.resident
+            )
+            if use_epochs:
+                self.vm.jump_transfers = True
+                procs = [
+                    self.engine.process(cpu.run_epochs(trace, n, pages.start))
+                    for n, cpu in enumerate(self.cpus)
+                ]
+            else:
+                procs = [
+                    self.engine.process(cpu.run_compiled(trace, n, pages.start))
+                    for n, cpu in enumerate(self.cpus)
+                ]
         else:
             streams = app.streams(self.cfg.n_nodes, pages.start, self.rng)
             if len(streams) != self.cfg.n_nodes:

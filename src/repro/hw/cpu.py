@@ -20,18 +20,35 @@ the processor's execution time.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.config import SimConfig
 from repro.hw.accounting import CATEGORIES, TimeAccount
 from repro.hw.cache import CacheModel
 from repro.hw.network import MeshNetwork
+from repro.osim.pagetable import PageState
 from repro.osim.sync import BarrierRegistry
 from repro.sim import BandwidthPipe, Counter, Engine
 from repro.sim.events import Event, Timeout
 
 #: pending time is flushed at least this often (pcycles)
 FLUSH_QUANTUM_PCYCLES = 20_000.0
+
+#: shortest candidate run the epoch executor will batch — below this the
+#: fixed per-epoch overhead loses to the per-item loop
+MIN_EPOCH_ITEMS = 12
+
+#: epochs at least this long take the vectorized NumPy arms inside
+#: ``Cpu._epoch_step`` (same arithmetic, array-at-a-time); shorter
+#: epochs keep the scalar loops, which win under ~100 items
+EPOCH_VECTOR_MIN_ITEMS = 128
+
+#: longest run examined per epoch attempt, bounding per-attempt array
+#: work (a longer run simply takes several epochs)
+MAX_EPOCH_ITEMS = 8192
 
 #: stream item types
 Item = Tuple[Any, ...]
@@ -67,6 +84,11 @@ class Cpu:
         self._stolen_sum = 0.0  #: running total of self._stolen
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: epoch-executor diagnostics (perf reporting only — never part
+        #: of a RunResult, which must be identical with epochs off)
+        self.epoch_items = 0
+        self.epoch_batches = 0
+        self._epoch_skip = 0
 
     # -- lazy time ---------------------------------------------------------
     def add_pending(self, category: str, cycles: float) -> None:
@@ -308,6 +330,688 @@ class Cpu:
             stats.add("remote_fetches", n_remote)
         if n_barriers:
             stats.add("barriers", n_barriers)
+
+    def run_epochs(
+        self, trace: Any, proc: int, page_base: int
+    ) -> Generator[Event, Any, None]:
+        """Epoch-accelerated replay of a compiled trace.
+
+        Trajectory-identical to :meth:`run_compiled` — the golden traces,
+        the differential oracle, and the epoch equivalence suites pin
+        this — but maximal runs of visits that provably cannot interact
+        with the rest of the machine are executed as single vectorized
+        steps (:meth:`_epoch_step`), and the evented waits that remain
+        first attempt an uncontended clock jump (``Engine.try_jump``,
+        ``BandwidthPipe.try_jump_transfer``,
+        ``MeshNetwork.try_jump_transfer``) before falling back to real
+        event scheduling.
+
+        Fallback boundaries are exact: an epoch is revalidated against
+        live TLB/cache/page-table state at its start and runs without a
+        single yield, so faults, contention, interrupts, and injected
+        failures — which can only land at event boundaries — always see
+        the same machine state as the per-item path, and force per-item
+        execution around the damage.
+        """
+        from repro.core.trace import KIND_VISIT
+
+        self.started_at = self.engine.now
+        kinds, page_col, read_col, write_col, think_col = trace.columns(proc)
+        cache = self.cache
+        plan = trace.epoch_plan(proc, cache._window, cache._cycles_per_access)
+        next_b = plan.boundary_list
+        barrier_keys = trace.barrier_keys
+        engine = self.engine
+        try_jump = engine.try_jump
+        # Fast-refuse guard for the flush jumps below: when the next
+        # queued event is due at or before the jump target, try_jump can
+        # only say no — skip the call.  (try_jump itself re-checks this
+        # plus the run-limit and multi-dispatch conditions.)
+        equeue = engine._queue
+        vm = self.vm
+        fast_access = vm.fast_access
+        resolve = vm.resolve
+        cache_visit = cache.visit
+        barrier_get = self.barriers.get
+        acct = self.acct
+        acct_charge = acct.charge
+        acct_times = acct.times
+        pending = self._pending
+        stolen = self._stolen
+        mem_buses = self.mem_buses
+        network = self.network
+        net_route_cache = network._route_cache
+        net_link_rate = network._link_rate
+        node = self.node
+        remote_latency = self.cfg.remote_latency_pcycles
+        n_visits = n_slow = n_remote = n_barriers = 0
+        # The per-item arm below is :meth:`run_compiled`'s loop body with
+        # index-based access and a jump attempt in front of every yield;
+        # the ``_flush()`` blocks are :meth:`_flush`, inlined, likewise
+        # jump-first.  ``attempt_from`` suppresses epoch re-attempts over
+        # a prefix that just failed validation until execution passes the
+        # item that broke the proof (it will fault or miss, changing the
+        # state the proof depends on).
+        n = len(kinds)
+        i = 0
+        # A stream with no candidate run long enough never attempts an
+        # epoch: pinning attempt_from past the end makes the per-item
+        # check a single always-false integer compare.
+        attempt_from = 0 if plan.max_run >= MIN_EPOCH_ITEMS else n
+        while i < n:
+            if kinds[i] == KIND_VISIT:
+                if i >= attempt_from and next_b[i] - i >= MIN_EPOCH_ITEMS:
+                    c = self._epoch_step(plan, i, next_b[i], page_base)
+                    if c:
+                        n_visits += c
+                        i += c
+                        if self._pending_sum >= FLUSH_QUANTUM_PCYCLES:
+                            if self._stolen_sum:  # _flush(), inlined
+                                for cat, sv in stolen.items():
+                                    if sv:
+                                        pending[cat] += sv
+                                        self._pending_sum += sv
+                                        stolen[cat] = 0.0
+                                self._stolen_sum = 0.0
+                            total = self._pending_sum
+                            if total > 0.0:
+                                if (
+                                    equeue
+                                    and equeue[0][0] <= engine._now + total
+                                ) or not try_jump(total, 1):
+                                    yield Timeout(engine, total)
+                                for cat, pv in pending.items():
+                                    if pv:
+                                        acct_times[cat] += pv
+                                        pending[cat] = 0.0
+                                self._pending_sum = 0.0
+                        continue
+                    attempt_from = self._epoch_skip
+                n_visits += 1
+                page = page_base + page_col[i]
+                n_reads = read_col[i]
+                n_writes = write_col[i]
+                is_write = n_writes > 0
+                home = fast_access(node, page, is_write)
+                if home is None:
+                    # Page fault (or wait on a page in motion): slow path.
+                    if self._stolen_sum:  # _flush(), inlined
+                        for cat, sv in stolen.items():
+                            if sv:
+                                pending[cat] += sv
+                                self._pending_sum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                    total = self._pending_sum
+                    if total > 0.0:
+                        if (
+                            equeue and equeue[0][0] <= engine._now + total
+                        ) or not try_jump(total, 1):
+                            yield Timeout(engine, total)
+                        for cat, pv in pending.items():
+                            if pv:
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        self._pending_sum = 0.0
+                    home = yield from resolve(node, page, is_write, acct)
+                    n_slow += 1
+                busy, miss_bytes = cache_visit(page, n_reads + n_writes)
+                v = busy + think_col[i]
+                pending["other"] += v
+                self._pending_sum += v
+                if miss_bytes:
+                    if self._stolen_sum:  # _flush(), inlined
+                        for cat, sv in stolen.items():
+                            if sv:
+                                pending[cat] += sv
+                                self._pending_sum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                    total = self._pending_sum
+                    if total > 0.0:
+                        if (
+                            equeue and equeue[0][0] <= engine._now + total
+                        ) or not try_jump(total, 1):
+                            yield Timeout(engine, total)
+                        for cat, pv in pending.items():
+                            if pv:
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        self._pending_sum = 0.0
+                    t0 = engine._now
+                    bus = mem_buses[home]
+                    if not bus.try_jump_transfer(miss_bytes):
+                        # BandwidthPipe.transfer, inlined (see
+                        # run_compiled).
+                        req = bus._server.request(0)
+                        yield req
+                        try:
+                            yield Timeout(
+                                engine, bus.overhead + miss_bytes / bus.rate
+                            )
+                            bus.bytes_transferred += miss_bytes
+                        finally:
+                            bus._server.release(req)
+                    if home != node:
+                        if not network.try_jump_transfer(
+                            home, node, miss_bytes
+                        ):
+                            # MeshNetwork.transfer, inlined likewise.
+                            t0n = engine._now
+                            ent = net_route_cache.get((home, node))
+                            if ent is None:
+                                ent = network._route_entry(home, node)
+                            links, fixed, _h = ent
+                            requests = []
+                            try:
+                                for res in links:
+                                    nreq = res.request(0)
+                                    requests.append(nreq)
+                                    yield nreq
+                                yield Timeout(
+                                    engine, fixed + miss_bytes / net_link_rate
+                                )
+                            finally:
+                                for res, nreq in zip(links, requests):
+                                    res.release(nreq)
+                            network.bytes_sent += miss_bytes
+                            network.latency.record(engine._now - t0n)
+                        if not try_jump(remote_latency, 1):
+                            yield Timeout(engine, remote_latency)
+                        n_remote += 1
+                    acct_charge("other", engine._now - t0)
+                if self._pending_sum >= FLUSH_QUANTUM_PCYCLES:
+                    if self._stolen_sum:  # _flush(), inlined
+                        for cat, sv in stolen.items():
+                            if sv:
+                                pending[cat] += sv
+                                self._pending_sum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                    total = self._pending_sum
+                    if total > 0.0:
+                        if (
+                            equeue and equeue[0][0] <= engine._now + total
+                        ) or not try_jump(total, 1):
+                            yield Timeout(engine, total)
+                        for cat, pv in pending.items():
+                            if pv:
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        self._pending_sum = 0.0
+            else:
+                if self._stolen_sum:  # _flush(), inlined
+                    for cat, sv in stolen.items():
+                        if sv:
+                            pending[cat] += sv
+                            self._pending_sum += sv
+                            stolen[cat] = 0.0
+                    self._stolen_sum = 0.0
+                total = self._pending_sum
+                if total > 0.0:
+                    if (
+                        equeue and equeue[0][0] <= engine._now + total
+                    ) or not try_jump(total, 1):
+                        yield Timeout(engine, total)
+                    for cat, pv in pending.items():
+                        if pv:
+                            acct_times[cat] += pv
+                            pending[cat] = 0.0
+                    self._pending_sum = 0.0
+                t0 = engine._now
+                yield barrier_get(barrier_keys[page_col[i]]).wait()
+                acct_charge("other", engine._now - t0)
+                n_barriers += 1
+            i += 1
+        yield from self._flush()
+        self.finished_at = engine.now
+        stats = self.stats
+        if n_visits:
+            stats.add("visits", n_visits)
+        if n_slow:
+            stats.add("slow_accesses", n_slow)
+        if n_remote:
+            stats.add("remote_fetches", n_remote)
+        if n_barriers:
+            stats.add("barriers", n_barriers)
+
+    def _epoch_step(
+        self, plan: Any, i: int, j: int, page_base: int
+    ) -> int:
+        """Execute trace items ``[i, j)`` as one vectorized step, if the
+        run is provably non-interacting.  Returns the number of items
+        consumed (0 when nothing provable; ``self._epoch_skip`` then
+        holds the first index worth re-attempting).
+
+        The candidate run (``plan.next_boundary``) contains only visits
+        whose static reuse distance fits the resident window.  Static
+        markers are a heuristic — invalidations make static hits miss,
+        and pre-existing window members make static misses hit — so the
+        run is truncated to the prefix whose distinct pages all pass live
+        validation: present in this CPU's cache window and MEMORY in the
+        page table.  Over that prefix every visit is a window hit, which
+        makes the whole step yield-free and therefore *atomic*: no other
+        process can run, so the validation cannot go stale mid-epoch, no
+        events are consumed, and the clock does not move.
+
+        Bit-identical bookkeeping is replayed in batch:
+
+        * TLB — replaying only each distinct page's *first* occurrence is
+          exact, because eviction victims are always entries untouched
+          during the run (touched entries sit behind them in LRU order,
+          and the untouched pool cannot drain: evictions <= untouched
+          originals whenever the distinct count fits the TLB, which is
+          checked).  Counters follow (hits = items - misses), and entries
+          are re-ordered afterwards to last-touch order, since the kernel
+          refreshes on every visit.
+        * pending time — the ``_pending_sum`` float chain is reproduced
+          exactly by re-running the same additions in the same order over
+          the plan's precomputed busy+think costs, with TLB-walk charges
+          spliced in before their item; the scan also yields the first
+          index where the flush quantum trips: the epoch consumes up to
+          and including that item, and the outer loop flushes — exactly
+          where the kernel would.
+        * cache window / replacement policy — every visit hits, so
+          membership is static; per-visit LRU refreshes collapse to one
+          move per distinct page in last-touch order (safe for the
+          policies that declare ``epoch_touch_safe``; the machine gates
+          epochs on that).  Dirty bits are ORed per distinct page.
+        """
+        j = min(j, i + MAX_EPOCH_ITEMS)
+        engine = self.engine
+        # Long epochs cross several flush quanta; those flushes can be
+        # performed *inside* the step as clock jumps (_epoch_quanta),
+        # amortizing the per-epoch scans over the whole run.  That is
+        # exact only while nothing can observe state between the internal
+        # flushes: the audit tick hook inspects the machine mid-epoch,
+        # and pending stolen time changes the first flush's composition —
+        # either forces single-quantum mode (one crossing per call, the
+        # outer loop flushes).
+        single = engine._tick_hook is not None or self._stolen_sum != 0.0
+        # Cap the scan at what this call can plausibly commit — items
+        # past the cap are wasted work.  Single-quantum mode commits at
+        # most one crossing; multi-quantum mode commits until its first
+        # refused flush jump, i.e. roughly until the event queue's head
+        # falls due (with nothing queued, the whole span is in play).
+        # Estimates come from the plan's global busy prefix sums, plus
+        # slack for the float-rounding difference vs the kernel's local
+        # chains; TLB-walk charges only pull the true crossing and the
+        # true refusal earlier.  A mis-estimate is never a correctness
+        # problem: the exact crossings are still found by the chains
+        # below, and a shorter validated prefix is always a correct
+        # epoch.
+        busy_cum = plan.busy_cum
+        base = float(busy_cum[i]) - self._pending_sum
+        window = FLUSH_QUANTUM_PCYCLES
+        if not single:
+            equeue = engine._queue
+            if equeue:
+                horizon = equeue[0][0] - engine._now
+                if horizon > window:
+                    window = horizon
+            else:
+                window = float("inf")
+        if window != float("inf"):
+            est = int(np.searchsorted(
+                busy_cum, base + window, side="left",
+            )) - i
+            if i + est + 4 < j:
+                j = i + est + 4
+        span = j - i
+        vm = self.vm
+        table = vm.table
+        resident = self.cache._resident
+        tlb = vm.tlbs[self.node]
+        entries = tlb._entries
+        cap = tlb.n_entries
+        pages_list = plan.pages_list
+        MEMORY = PageState.MEMORY
+        # -- chronological first-occurrence scan + live validation.
+        # Short runs use a fused python scan whose early exit keeps
+        # failed attempts at a few dict probes (attempts fail often under
+        # memory pressure, where invalidations gut the static plan);
+        # long runs lift the first-occurrence scan to numpy and validate
+        # the (few) distinct pages in python.
+        chron_pages: List[int]
+        chron_off: List[int]
+        homes: List[int] = []
+        if span >= EPOCH_VECTOR_MIN_ITEMS:
+            uniq, first_off = np.unique(plan.pages[i:j], return_index=True)
+            order = np.argsort(first_off, kind="stable")
+            chron_pages = uniq[order].tolist()
+            chron_off = first_off[order].tolist()
+            valid = span
+            if len(chron_pages) > cap:
+                # The first-occurrence TLB replay is only exact while
+                # every distinct page fits the TLB at once.
+                valid = chron_off[cap]
+                del chron_pages[cap:], chron_off[cap:]
+            for k, p in enumerate(chron_pages):
+                g = page_base + p
+                if g in resident:
+                    entry = table[g]
+                    if entry.state is MEMORY:
+                        homes.append(entry.node)
+                        continue
+                # This page would miss (or fault): the epoch ends
+                # strictly before its first occurrence.
+                valid = chron_off[k]
+                del chron_pages[k:], chron_off[k:]
+                break
+        else:
+            seen = set()
+            seen_add = seen.add
+            chron_pages = []
+            chron_off = []
+            valid = span
+            for off in range(span):
+                p = pages_list[i + off]
+                if p in seen:
+                    continue
+                g = page_base + p
+                if g in resident:
+                    entry = table[g]
+                    if entry.state is MEMORY:
+                        if len(seen) >= cap:
+                            # TLB-replay exactness bound, as above.
+                            valid = off
+                            break
+                        seen_add(p)
+                        chron_pages.append(p)
+                        chron_off.append(off)
+                        homes.append(entry.node)
+                        continue
+                valid = off
+                break
+        if valid < MIN_EPOCH_ITEMS:
+            self._epoch_skip = i + valid + 1
+            return 0
+        # -- dry-run TLB replay on a shadow copy: which first
+        # occurrences take the miss branch (and charge a walk)?
+        tlb_miss = self.cfg.tlb_miss_pcycles
+        shadow = dict(entries)
+        miss_offs: List[int] = []  # ascending (chron_off is ascending)
+        for k, p in enumerate(chron_pages):
+            g = page_base + p
+            h = shadow.pop(g, None)
+            if h is None:
+                miss_offs.append(chron_off[k])
+                if len(shadow) >= cap:
+                    del shadow[next(iter(shadow))]
+                h = homes[k]
+            shadow[g] = h
+        # -- flush-quantum crossing over the exact charge sequence: the
+        # kernel adds each item's TLB-walk charge (when its page's first
+        # occurrence misses) before its busy+think cost and checks the
+        # quantum after the item.  The same adds in the same order on the
+        # same doubles reproduce the ``_pending_sum`` float chain bit for
+        # bit (np.cumsum accumulates sequentially, so both arms below
+        # produce identical doubles).  The epoch consumes up to and
+        # including the crossing item; the outer loop then flushes,
+        # exactly where the kernel would.
+        busy_list = plan.busy_list
+        pending_sum = self._pending_sum
+        pending_done = False
+        if not single and valid >= EPOCH_VECTOR_MIN_ITEMS:
+            # Multi-quantum: flushes inside the step, chains committed
+            # there.
+            c = self._epoch_quanta(plan, i, valid, miss_offs, tlb_miss)
+            pending_done = True
+        elif valid >= EPOCH_VECTOR_MIN_ITEMS:
+            bts = plan.busy_think[i:i + valid]
+            if miss_offs:
+                moffs = np.asarray(miss_offs, dtype=np.int64)
+                seq = np.insert(bts, moffs, tlb_miss)
+                cum = np.cumsum(np.concatenate(((pending_sum,), seq)))
+                ar = np.arange(valid)
+                end_vals = cum[
+                    1 + ar + np.searchsorted(moffs, ar, side="right")
+                ]
+            else:
+                end_vals = np.cumsum(
+                    np.concatenate(((pending_sum,), bts))
+                )[1:]
+            k_q = int(
+                np.searchsorted(end_vals, FLUSH_QUANTUM_PCYCLES, side="left")
+            )
+            c = valid if k_q >= valid else k_q + 1
+            pending_sum = float(end_vals[c - 1])
+        else:
+            c = valid
+            mi = 0
+            n_mo = len(miss_offs)
+            for off in range(valid):
+                if mi < n_mo and miss_offs[mi] == off:
+                    pending_sum += tlb_miss
+                    mi += 1
+                pending_sum += busy_list[i + off]
+                if pending_sum >= FLUSH_QUANTUM_PCYCLES:
+                    c = off + 1
+                    break
+        # -- commit: batch-apply the per-item bookkeeping for [i, i + c)
+        n_miss = 0
+        evictions = 0
+        home_of = {}
+        for k, p in enumerate(chron_pages):
+            if chron_off[k] >= c:
+                break
+            g = page_base + p
+            # A TLB hit refreshes the *cached* home (the kernel never
+            # consults the table on a hit); only a miss installs the
+            # table's node.
+            h = entries.pop(g, None)
+            if h is None:
+                n_miss += 1
+                if len(entries) >= cap:
+                    del entries[next(iter(entries))]
+                    evictions += 1
+                h = homes[k]
+            entries[g] = h
+            home_of[g] = h
+        tlb._hits += c - n_miss
+        tlb._misses += n_miss
+        tlb._evictions += evictions
+        cache = self.cache
+        cache._hits += c
+        # Last-touch order of the consumed prefix's distinct pages: the
+        # kernel's per-visit LRU refreshes leave exactly this ordering in
+        # the TLB, the cache window, and the home policies.  (np.unique
+        # over the reversed segment keeps each page's *first* reversed
+        # occurrence = its last touch; re-sorting by that index and
+        # flipping recovers least-recently-touched-first, matching the
+        # python scan.)
+        if c >= EPOCH_VECTOR_MIN_ITEMS:
+            seg_c = plan.pages[i:i + c]
+            rev_uniq, rev_idx = np.unique(seg_c[::-1], return_index=True)
+            lt_pages = rev_uniq[
+                np.argsort(rev_idx, kind="stable")[::-1]
+            ].tolist()
+        else:
+            seen2 = set()
+            seen2_add = seen2.add
+            last_touch: List[int] = []
+            for off in range(c - 1, -1, -1):
+                p = pages_list[i + off]
+                if p not in seen2:
+                    seen2_add(p)
+                    last_touch.append(p)
+            lt_pages = last_touch[::-1]
+        vres = vm.resident
+        move_res = resident.move_to_end
+        for p in lt_pages:
+            g = page_base + p
+            h = entries.pop(g)
+            entries[g] = h
+            move_res(g)
+            vres[home_of[g]].touch(g)
+        if c >= EPOCH_VECTOR_MIN_ITEMS:
+            wr = plan.is_write[i:i + c]
+            if wr.any():
+                for p in np.unique(seg_c[wr]).tolist():
+                    table[page_base + p].dirty = True
+        else:
+            write_list = plan.write_list
+            dirty_done = set()
+            for off in range(c):
+                if write_list[i + off]:
+                    p = pages_list[i + off]
+                    if p not in dirty_done:
+                        dirty_done.add(p)
+                        table[page_base + p].dirty = True
+        # -- pending time: per-category chains, each bit-identical to
+        # the kernel's scalar accumulation order (np.cumsum adds
+        # sequentially, so the long-run arm lands on the same doubles).
+        # The multi-quantum path committed these inside _epoch_quanta.
+        if not pending_done:
+            pending = self._pending
+            if c >= EPOCH_VECTOR_MIN_ITEMS:
+                pending["other"] = float(
+                    np.cumsum(
+                        np.concatenate(
+                            ((pending["other"],), plan.busy_think[i:i + c])
+                        )
+                    )[-1]
+                )
+            else:
+                po = pending["other"]
+                for off in range(c):
+                    po += busy_list[i + off]
+                pending["other"] = po
+            if n_miss:
+                pt = pending["tlb"]
+                for _ in range(n_miss):
+                    pt += tlb_miss
+                pending["tlb"] = pt
+            self._pending_sum = pending_sum
+        self.epoch_items += c
+        self.epoch_batches += 1
+        return c
+
+    def _epoch_quanta(
+        self,
+        plan: Any,
+        i: int,
+        valid: int,
+        miss_offs: List[int],
+        tlb_miss: float,
+    ) -> int:
+        """Integrate pending time over a validated epoch of ``valid``
+        items, performing the flush-quantum flushes *inside* the epoch
+        as clock jumps.  Returns the number of items consumed.
+
+        Each quantum's ``_pending_sum`` / ``pending["other"]`` /
+        ``pending["tlb"]`` float chains are re-run as seeded cumulative
+        sums (sequential adds, identical doubles), every flushed total
+        is jumped with one ``try_jump(total, 1)`` — the same clock adds
+        and event counts as the evented flushes — and the account drain
+        performs the kernel's per-category adds per flush.  Stops early
+        when a jump refuses (the epoch then ends on that quantum's
+        crossing item with ``_pending_sum`` over the quantum, so the
+        caller's outer loop takes the evented flush).  Only called with
+        no audit tick hook and ``_stolen_sum == 0``, so internal flushes
+        never fold stolen time and are never observed mid-commit.
+        """
+        engine = self.engine
+        equeue = engine._queue
+        try_jump = engine.try_jump
+        busy_arr = plan.busy_think
+        pending = self._pending
+        acct_times = self.acct.times
+        chain_seed = self._pending_sum
+        po_seed = pending["other"]
+        pt = pending["tlb"]
+        mi = 0
+        drained = False  # other categories drained at first flush yet?
+        a = 0
+        while True:
+            rem = valid - a
+            bts = busy_arr[i + a:i + valid]
+            m_rel = [m - a for m in miss_offs[mi:]]
+            if m_rel:
+                moffs = np.asarray(m_rel, dtype=np.int64)
+                seq = np.insert(bts, moffs, tlb_miss)
+                cum = np.cumsum(np.concatenate(((chain_seed,), seq)))
+                ar = np.arange(rem)
+                end_vals = cum[
+                    1 + ar + np.searchsorted(moffs, ar, side="right")
+                ]
+            elif chain_seed == 0.0:
+                # cumsum's internal accumulator starts at 0.0, like the
+                # kernel's chain after a flush.
+                end_vals = np.cumsum(bts)
+            else:
+                end_vals = np.cumsum(
+                    np.concatenate(((chain_seed,), bts))
+                )[1:]
+            k = int(
+                np.searchsorted(end_vals, FLUSH_QUANTUM_PCYCLES, side="left")
+            )
+            if k >= rem:
+                # Tail quantum: the run ends before the next crossing.
+                n_mq = len(m_rel)
+                chain_end = float(end_vals[rem - 1])
+                if n_mq or po_seed != chain_seed:
+                    po_end = float(
+                        np.cumsum(np.concatenate(((po_seed,), bts)))[-1]
+                    )
+                else:
+                    # No interleaved walk charges and numerically equal
+                    # seeds: the chains coincide at every step.
+                    po_end = chain_end
+                for _ in range(n_mq):
+                    pt += tlb_miss
+                pending["other"] = po_end
+                pending["tlb"] = pt
+                self._pending_sum = chain_end
+                return valid
+            total = float(end_vals[k])
+            n_mq = bisect_right(m_rel, k)
+            if n_mq or po_seed != chain_seed:
+                po_end = float(
+                    np.cumsum(
+                        np.concatenate(
+                            ((po_seed,), busy_arr[i + a:i + a + k + 1])
+                        )
+                    )[-1]
+                )
+            else:
+                po_end = total
+            for _ in range(n_mq):
+                pt += tlb_miss
+            mi += n_mq
+            if (
+                equeue and equeue[0][0] <= engine._now + total
+            ) or not try_jump(total, 1):
+                # Contended flush: end the epoch on this quantum's
+                # crossing item, leaving the per-category chains exactly
+                # where the kernel would have them, and let the caller's
+                # outer loop flush through the event queue.
+                pending["other"] = po_end
+                pending["tlb"] = pt
+                self._pending_sum = total
+                return a + k + 1
+            # Jumped flush: drain with the kernel's adds.
+            if not drained:
+                for cat, pv in pending.items():
+                    if pv and cat != "other" and cat != "tlb":
+                        acct_times[cat] += pv
+                        pending[cat] = 0.0
+                drained = True
+            if po_end:
+                acct_times["other"] += po_end
+            if pt:
+                acct_times["tlb"] += pt
+            po_seed = 0.0
+            pt = 0.0
+            chain_seed = 0.0
+            a += k + 1
+            if a >= valid:
+                # The crossing fell on the last item: the epoch ends
+                # freshly flushed.
+                pending["other"] = 0.0
+                pending["tlb"] = 0.0
+                self._pending_sum = 0.0
+                return valid
 
     def _visit(
         self, page: int, n_reads: int, n_writes: int, think: float

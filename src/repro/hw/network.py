@@ -153,6 +153,39 @@ class MeshNetwork:
         self.bytes_sent += nbytes
         self.latency.record(engine._now - t0)
 
+    def try_jump_transfer(self, src: int, dst: int, nbytes: float) -> bool:
+        """Complete an uncontended message as a clock jump, if possible.
+
+        Exactly equivalent to :meth:`transfer` when every link on the XY
+        route is idle and the engine can leap over the occupancy window:
+        the per-link grants and the serialization timeout collapse into
+        one ``Engine.try_jump(..., hops + 1)``, each link's busy integral
+        advances by the same window the release path would have added,
+        and the latency tally records the identical ``now - t0``.
+        Returns False (no state touched) when any route link is held or
+        queued, or another event is due inside the window.
+        """
+        entry = self._route_cache.get((src, dst))
+        if entry is None:
+            entry = self._route_entry(src, dst)
+        links, fixed, h = entry
+        for res in links:
+            if res.users or res.queue:
+                return False
+        engine = self.engine
+        t0 = engine._now
+        delay = fixed + nbytes / self._link_rate if h else fixed
+        if not engine.try_jump(delay, len(links) + 1):
+            return False
+        now = engine._now
+        dt = now - t0
+        for res in links:
+            res._busy_integral += dt
+            res._last_change = now
+        self.bytes_sent += nbytes
+        self.latency.record(dt)
+        return True
+
     # -- reporting --------------------------------------------------------
     def max_link_utilization(self, total_time: float) -> float:
         """Utilization of the hottest link (contention indicator)."""

@@ -70,6 +70,12 @@ class VmSystem:
         self.swap = swap
         self.metrics = metrics
         self.table = PageTable(engine)
+        #: when True (set by the machine for epoch-executed runs), the
+        #: fault paths first attempt uncontended clock jumps
+        #: (``try_jump`` / ``try_jump_transfer``) before scheduling real
+        #: events.  Off by default so the evented path stays untouched
+        #: mechanism-for-mechanism when epochs are disabled.
+        self.jump_transfers = False
         #: per-node resident-page replacement policy (paper: LRU)
         self.resident: List[ReplacementPolicy] = [
             make_policy(cfg.replacement_policy) for _ in range(cfg.n_nodes)
@@ -149,6 +155,7 @@ class VmSystem:
         """Fault loop: make ``page`` resident and return its home node."""
         entry = self.table[page]
         engine = self.engine
+        jumps = self.jump_transfers
         while True:
             state = entry.state
             if state is PageState.MEMORY:
@@ -221,43 +228,40 @@ class VmSystem:
             # inlined (identical events without a delegate generator).
             net = self.network
             nbytes = self.cfg.control_msg_bytes
-            t0n = engine._now
-            ent = net._route_cache.get((node, io_node))
-            if ent is None:
-                ent = net._route_entry(node, io_node)
-            links, fixed, _h = ent
-            if not links:
-                yield Timeout(engine, fixed)
-            else:
-                requests = []
-                try:
-                    for res in links:
-                        nreq = res.request(0)
-                        requests.append(nreq)
-                        yield nreq
-                    yield Timeout(engine, fixed + nbytes / net._link_rate)
-                finally:
-                    for res, nreq in zip(links, requests):
-                        res.release(nreq)
-            net.bytes_sent += nbytes
-            net.latency.record(engine._now - t0n)
+            if not (jumps and net.try_jump_transfer(node, io_node, nbytes)):
+                t0n = engine._now
+                ent = net._route_cache.get((node, io_node))
+                if ent is None:
+                    ent = net._route_entry(node, io_node)
+                links, fixed, _h = ent
+                if not links:
+                    yield Timeout(engine, fixed)
+                else:
+                    requests = []
+                    try:
+                        for res in links:
+                            nreq = res.request(0)
+                            requests.append(nreq)
+                            yield nreq
+                        yield Timeout(engine, fixed + nbytes / net._link_rate)
+                    finally:
+                        for res, nreq in zip(links, requests):
+                            res.release(nreq)
+                net.bytes_sent += nbytes
+                net.latency.record(engine._now - t0n)
             if ctrl.prefetch is PrefetchMode.OPTIMAL:
                 # Under idealized prefetching the read is the controller
                 # overhead plus a cache touch — no disk, no delegate.
-                yield Timeout(engine, self.cfg.controller_overhead_pcycles)
+                if not (
+                    jumps
+                    and engine.try_jump(self.cfg.controller_overhead_pcycles, 1)
+                ):
+                    yield Timeout(engine, self.cfg.controller_overhead_pcycles)
                 result = ctrl.note_optimal_read(page)
             else:
                 result = yield from ctrl.read(page)
             bus = self.io_buses[io_node]
-            req = bus._server.request(0)
-            yield req
-            try:
-                yield Timeout(engine, bus.overhead + psize / bus.rate)
-                bus.bytes_transferred += psize
-            finally:
-                bus._server.release(req)
-            if io_node != node:
-                bus = self.mem_buses[io_node]
+            if not (jumps and bus.try_jump_transfer(psize)):
                 req = bus._server.request(0)
                 yield req
                 try:
@@ -265,32 +269,44 @@ class VmSystem:
                     bus.bytes_transferred += psize
                 finally:
                     bus._server.release(req)
-                # MeshNetwork.transfer, inlined (identical events).
-                t0n = engine._now
-                ent = net._route_cache.get((io_node, node))
-                if ent is None:
-                    ent = net._route_entry(io_node, node)
-                links, fixed, _h = ent
-                requests = []
-                try:
-                    for res in links:
-                        nreq = res.request(0)
-                        requests.append(nreq)
-                        yield nreq
-                    yield Timeout(engine, fixed + psize / net._link_rate)
-                finally:
-                    for res, nreq in zip(links, requests):
-                        res.release(nreq)
-                net.bytes_sent += psize
-                net.latency.record(engine._now - t0n)
+            if io_node != node:
+                bus = self.mem_buses[io_node]
+                if not (jumps and bus.try_jump_transfer(psize)):
+                    req = bus._server.request(0)
+                    yield req
+                    try:
+                        yield Timeout(engine, bus.overhead + psize / bus.rate)
+                        bus.bytes_transferred += psize
+                    finally:
+                        bus._server.release(req)
+                if not (jumps and net.try_jump_transfer(io_node, node, psize)):
+                    # MeshNetwork.transfer, inlined (identical events).
+                    t0n = engine._now
+                    ent = net._route_cache.get((io_node, node))
+                    if ent is None:
+                        ent = net._route_entry(io_node, node)
+                    links, fixed, _h = ent
+                    requests = []
+                    try:
+                        for res in links:
+                            nreq = res.request(0)
+                            requests.append(nreq)
+                            yield nreq
+                        yield Timeout(engine, fixed + psize / net._link_rate)
+                    finally:
+                        for res, nreq in zip(links, requests):
+                            res.release(nreq)
+                    net.bytes_sent += psize
+                    net.latency.record(engine._now - t0n)
             bus = self.mem_buses[node]
-            req = bus._server.request(0)
-            yield req
-            try:
-                yield Timeout(engine, bus.overhead + psize / bus.rate)
-                bus.bytes_transferred += psize
-            finally:
-                bus._server.release(req)
+            if not (jumps and bus.try_jump_transfer(psize)):
+                req = bus._server.request(0)
+                yield req
+                try:
+                    yield Timeout(engine, bus.overhead + psize / bus.rate)
+                    bus.bytes_transferred += psize
+                finally:
+                    bus._server.release(req)
             entry.to_memory(node, frame, dirty=False)
             self.resident[node].insert(page)
             now = engine._now
@@ -320,8 +336,13 @@ class VmSystem:
         # I/O and memory buses into the frame.  No network, no I/O node.
         # The bus crossings are BandwidthPipe.transfer, inlined (identical
         # events without a delegate generator per crossing — see cpu.py).
-        yield Timeout(engine, channel.read_delay(page))
+        jumps = self.jump_transfers
+        read_delay = channel.read_delay(page)
+        if not (jumps and engine.try_jump(read_delay, 1)):
+            yield Timeout(engine, read_delay)
         for bus in (self.io_buses[node], self.mem_buses[node]):
+            if jumps and bus.try_jump_transfer(psize):
+                continue
             req = bus._server.request(0)
             yield req
             try:

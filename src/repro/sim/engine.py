@@ -49,8 +49,9 @@ class Engine:
     """
 
     __slots__ = (
-        "_now", "_queue", "_eid", "events_processed",
-        "_tick_hook", "_tick_every", "_tick_left",
+        "_now", "_queue", "_eid", "events_processed", "events_jumped",
+        "_tick_hook", "_tick_every", "_tick_left", "_limit",
+        "_multi_dispatch",
     )
 
     def __init__(self, start_time: float = 0.0) -> None:
@@ -59,11 +60,20 @@ class Engine:
         self._eid = count()
         #: number of events processed so far (useful for perf reporting)
         self.events_processed = 0
+        #: how many of those were elided by :meth:`try_jump` (diagnostics)
+        self.events_jumped = 0
         # Optional per-event hook (auditing). None keeps run() on the
         # inlined fast drain loops, so the disabled case costs nothing.
         self._tick_hook: Optional[Any] = None
         self._tick_every = 1
         self._tick_left = 1
+        # Upper clock bound while inside run(until=...): try_jump must not
+        # leap past a limit the drain loop would have stopped at.
+        self._limit = float("inf")
+        # True while an event with several callbacks is being dispatched
+        # (e.g. a barrier release resuming many processes): the clock
+        # must not move until every sibling callback has observed it.
+        self._multi_dispatch = False
 
     # -- tick hook -----------------------------------------------------------
     def set_tick_hook(self, hook: Optional[Any], every: int = 1) -> None:
@@ -123,6 +133,49 @@ class Engine:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def try_jump(self, delay: float, n_events: int = 1) -> bool:
+        """Advance the clock by ``delay`` without dispatching any events.
+
+        This is the epoch executor's entry point into the kernel: when a
+        process can prove that the next ``n_events`` events it would
+        schedule are uncontended — nothing else in the machine is due to
+        run at or before their firing time — the whole exchange collapses
+        into a single clock assignment.  The jump refuses (returns False,
+        state untouched) whenever any queued event falls at or before the
+        target time, the target exceeds a ``run(until=...)`` limit, or a
+        multi-callback event is mid-dispatch (sibling callbacks — e.g.
+        the other processes released by the same barrier — have not yet
+        observed the current clock); the caller must then fall back to
+        real event scheduling.
+
+        A successful jump consumes exactly what the evented path would
+        have: ``n_events`` event ids, ``n_events`` on
+        :attr:`events_processed`, and ``n_events`` ticks of the audit
+        hook's countdown — so event ordering, reporting, and audit cadence
+        stay bit-identical with the fallback path.
+        """
+        target = self._now + delay
+        queue = self._queue
+        if (
+            (queue and queue[0][0] <= target)
+            or target > self._limit
+            or self._multi_dispatch
+        ):
+            return False
+        self._now = target
+        self.events_processed += n_events
+        self.events_jumped += n_events
+        eid = self._eid
+        for _ in range(n_events):
+            next(eid)
+        if self._tick_hook is not None:
+            left = self._tick_left - n_events
+            while left <= 0:
+                self._tick_hook()
+                left += self._tick_every
+            self._tick_left = left
+        return True
+
     def step(self) -> None:
         """Process exactly one event; raise :class:`EmptySchedule` if none."""
         try:
@@ -134,8 +187,15 @@ class Engine:
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
-        for cb in callbacks:
-            cb(event)
+        if len(callbacks) == 1:
+            callbacks[0](event)
+        else:
+            self._multi_dispatch = True
+            try:
+                for cb in callbacks:
+                    cb(event)
+            finally:
+                self._multi_dispatch = False
         # An event that failed but had nobody waiting for it is a silent
         # lost error — surface it loudly instead.
         if not event._ok and not event._defused:
@@ -152,6 +212,15 @@ class Engine:
         When ``until`` is given the clock is advanced exactly to ``until``
         even if no event falls on it (mirrors SimPy semantics).
         """
+        if until is not None:
+            limit = float(until)
+            if limit < self._now:
+                raise ValueError(
+                    f"until ({limit}) is in the past (now={self._now})"
+                )
+            # Cap try_jump for the duration of this bounded run; restored
+            # below (and in the finally blocks of the drain loops).
+            self._limit = limit
         if self._tick_hook is not None:
             # Audited runs take the step() path: slower, but the hook
             # fires between events with fully consistent model state.
@@ -159,13 +228,11 @@ class Engine:
                 while self._queue:
                     self.step()
             else:
-                limit = float(until)
-                if limit < self._now:
-                    raise ValueError(
-                        f"until ({limit}) is in the past (now={self._now})"
-                    )
-                while self._queue and self._queue[0][0] <= limit:
-                    self.step()
+                try:
+                    while self._queue and self._queue[0][0] <= limit:
+                        self.step()
+                finally:
+                    self._limit = float("inf")
                 self._now = limit
             return
         # The drain loop below inlines step(): one bound-method call and
@@ -186,19 +253,21 @@ class Engine:
                     event._processed = True
                     # Nearly every event carries exactly one callback (the
                     # waiting process's resume); skip the loop setup then.
+                    # Multi-callback dispatch pins the clock (see step()).
                     if len(callbacks) == 1:
                         callbacks[0](event)
                     else:
-                        for cb in callbacks:
-                            cb(event)
+                        self._multi_dispatch = True
+                        try:
+                            for cb in callbacks:
+                                cb(event)
+                        finally:
+                            self._multi_dispatch = False
                     if not event._ok and not event._defused:
                         raise event.value
             finally:
                 self.events_processed += processed
         else:
-            limit = float(until)
-            if limit < self._now:
-                raise ValueError(f"until ({limit}) is in the past (now={self._now})")
             try:
                 while queue and queue[0][0] <= limit:
                     when, _prio, _eid, event = pop(queue)
@@ -210,10 +279,15 @@ class Engine:
                     if len(callbacks) == 1:
                         callbacks[0](event)
                     else:
-                        for cb in callbacks:
-                            cb(event)
+                        self._multi_dispatch = True
+                        try:
+                            for cb in callbacks:
+                                cb(event)
+                        finally:
+                            self._multi_dispatch = False
                     if not event._ok and not event._defused:
                         raise event.value
             finally:
                 self.events_processed += processed
+                self._limit = float("inf")
             self._now = limit

@@ -274,6 +274,31 @@ class BandwidthPipe:
         finally:
             self._server.release(req)
 
+    def try_jump_transfer(self, nbytes: float) -> bool:
+        """Complete an uncontended transfer as a clock jump, if possible.
+
+        Exactly equivalent to :meth:`transfer` when the pipe is idle and
+        the engine can leap over the transfer window (no other event due
+        in it): the grant + timeout pair collapses into
+        ``Engine.try_jump(..., 2)`` and the server's busy integral is
+        advanced by the same ``now - t0`` the release path would have
+        added.  Returns False (no state touched) when the pipe is busy or
+        the window is contended; the caller must then yield through
+        :meth:`transfer`'s request/timeout/release sequence.
+        """
+        srv = self._server
+        if srv.users or srv.queue:
+            return False
+        engine = self.engine
+        t0 = engine._now
+        if not engine.try_jump(self.overhead + nbytes / self.rate, 2):
+            return False
+        now = engine._now
+        srv._busy_integral += now - t0
+        srv._last_change = now
+        self.bytes_transferred += nbytes
+        return True
+
     def utilization(self, total_time: float) -> float:
         """Fraction of ``total_time`` the pipe was busy."""
         return self._server.utilization(total_time)

@@ -1,0 +1,212 @@
+"""The epoch executor's boundary detection, on adversarial traces.
+
+The epoch executor (``Cpu.run_epochs`` / ``Cpu._epoch_step``) may batch
+a run of trace items only while it can prove the run cannot interact
+with the rest of the machine.  These tests construct traces engineered
+to break each leg of that proof — a page missing from the resident
+window, cross-CPU bus contention, pages parked in optical ring slots —
+and check both that the detector refuses (or truncates) the epoch and
+that the run result stays bit-identical to the pure event kernel.
+"""
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.core.machine import Machine
+from repro.core.trace import KIND_VISIT, get_trace
+from repro.hw.cpu import MIN_EPOCH_ITEMS
+from repro.sim import Engine
+from tests.conftest import SyntheticWorkload
+
+
+def _snapshot(res):
+    d = dict(vars(res))
+    d.pop("metrics", None)  # carries wall-clock noise
+    return repr(d)
+
+
+def _run_both(system="standard", cfg_kwargs=None, **wl_kwargs):
+    """Run the same workload with epochs off and on; return the two
+    machines after asserting bit-identical results."""
+    machines = {}
+    for ep in (False, True):
+        cfg = SimConfig.tiny(**(cfg_kwargs or {}))
+        m = Machine(cfg, system=system, epoch_exec=ep)
+        m.result = m.run(SyntheticWorkload(**wl_kwargs))
+        machines[ep] = m
+    assert _snapshot(machines[False].result) == _snapshot(
+        machines[True].result
+    )
+    return machines[False], machines[True]
+
+
+def _epoch_items(machine):
+    return sum(cpu.epoch_items for cpu in machine.cpus)
+
+
+# ------------------------------------------------------------- engagement
+def test_epoch_friendly_run_engages_epochs():
+    """In-window private sweeps are the regime epochs exist for."""
+    # 2 pages/CPU fits the window (4), the TLB (8), and memory.
+    _, on = _run_both(
+        n_pages=8, sweeps=32, accesses=1, write=False, think=10.0,
+        use_barriers=False,
+    )
+    assert _epoch_items(on) > 0
+    assert on.engine.events_processed == on.engine.events_processed
+
+
+# ------------------------------------------- adversarial: resident miss
+def test_out_of_window_reuse_defeats_epochs():
+    """8 pages/CPU against a 4-page window: every revisit's reuse
+    distance exceeds the window, so every item is a static boundary and
+    no run is ever long enough to attempt."""
+    _, on = _run_both(
+        n_pages=32, sweeps=8, accesses=1, write=False, think=10.0,
+        use_barriers=False,
+    )
+    assert _epoch_items(on) == 0
+
+
+def test_tlb_cap_defeats_epochs():
+    """Statically epoch-friendly (reuse 11 < window 16), but 12 distinct
+    pages per CPU overflow the 8-entry TLB: live validation truncates
+    every candidate run at the 9th distinct page (8 items, below
+    ``MIN_EPOCH_ITEMS``), so epochs never commit — and may not, because
+    batching past the cap would reorder TLB misses and shootdowns."""
+    _, on = _run_both(
+        cfg_kwargs=dict(l2_resident_pages=16, memory_per_node=64 * 1024),
+        n_pages=48, sweeps=16, accesses=2, write=False, think=10.0,
+        use_barriers=False,
+    )
+    for cpu in on.cpus:
+        assert on.vm.tlbs[cpu.node].n_entries == 8
+    assert _epoch_items(on) == 0
+
+
+def test_tlb_cap_truncates_each_epoch():
+    """16 distinct pages per CPU against a 12-entry TLB: runs are
+    statically unbounded (reuse 15 < window 16, no barriers), yet every
+    committed epoch must stop at the TLB cap instead of swallowing a
+    whole sweep blindly."""
+    _, on = _run_both(
+        # 128K/node leaves free frames: at exactly 64 pages / 64 frames
+        # the min-free reserve keeps pages cycling through swapouts and
+        # live validation (state must be MEMORY) refuses every run.
+        cfg_kwargs=dict(l2_resident_pages=16, tlb_entries=12,
+                        memory_per_node=128 * 1024),
+        n_pages=64, sweeps=16, accesses=2, write=False, think=10.0,
+        use_barriers=False,
+    )
+    items = _epoch_items(on)
+    batches = sum(cpu.epoch_batches for cpu in on.cpus)
+    assert items > 0
+    # each batch covers at most tlb_entries distinct pages = 12 items
+    assert items <= 12 * batches
+
+
+# ------------------------------------------- adversarial: contended bus
+def test_shared_pages_contend_and_stay_identical():
+    """All CPUs hammer the same pages: misses, bus transfers, and
+    shootdowns land mid-run, so epochs must keep yielding to the event
+    kernel exactly at the contended boundaries."""
+    off, on = _run_both(
+        n_pages=8, sweeps=8, accesses=4, write=True, shared=True,
+        think=10.0,
+    )
+    assert on.engine.events_processed == off.engine.events_processed
+
+
+# ------------------------------------------- adversarial: ring conflict
+def test_ring_resident_pages_defeat_validation():
+    """Out-of-core NWCache run: pages cycle through optical ring slots
+    (state RING, not MEMORY), so the live validation must refuse to
+    batch over them."""
+    off, on = _run_both(
+        system="nwcache",
+        n_pages=64, sweeps=4, accesses=2, write=True, think=10.0,
+    )
+    # The run thrashes: 64 pages against 32 frames.  Identity (checked
+    # in _run_both) is the load-bearing assertion; engagement is
+    # incidental and typically near zero.
+    assert off.result.exec_time == on.result.exec_time
+
+
+# ---------------------------------------------------- plan-level checks
+def _plan_for(**wl_kwargs):
+    cfg = SimConfig.tiny()
+    wl = SyntheticWorkload(**wl_kwargs)
+    tr = get_trace(wl, cfg.n_nodes, cfg.seed, cache=False)
+    return tr, tr.epoch_plan(0, cfg.l2_resident_pages,
+                             cfg.cpu_cycles_per_access)
+
+
+def test_barriers_are_boundaries():
+    tr, plan = _plan_for(n_pages=8, sweeps=4, accesses=1,
+                         use_barriers=True)
+    kinds = tr.kinds[0]
+    barrier_idx = np.flatnonzero(kinds != KIND_VISIT)
+    assert barrier_idx.size == 4  # one per sweep
+    for b in barrier_idx:
+        assert plan.next_boundary[b] == b
+        if b > 0:
+            # items before a barrier can never run past it
+            assert plan.next_boundary[b - 1] <= b
+
+
+def test_in_window_stream_has_long_runs():
+    tr, plan = _plan_for(n_pages=8, sweeps=32, accesses=1,
+                         use_barriers=False)
+    n = len(tr.kinds[0])
+    # After the 2 cold first-touches, nothing interrupts the sweep.
+    assert plan.max_run >= n - 2
+    assert plan.max_run == int((plan.next_boundary -
+                                np.arange(n)).max())
+
+
+def test_far_reuse_marks_every_item():
+    tr, plan = _plan_for(n_pages=32, sweeps=8, accesses=1,
+                         use_barriers=False)
+    # 8 pages vs window 4: every item is its own boundary.
+    n = len(tr.kinds[0])
+    assert np.array_equal(plan.next_boundary, np.arange(n))
+    assert plan.max_run < MIN_EPOCH_ITEMS
+
+
+# ------------------------------------------------- multi-dispatch guard
+def test_try_jump_refused_during_multi_dispatch():
+    """A barrier-style event resuming several processes pins the clock:
+    none of the siblings may jump until all have observed it."""
+    eng = Engine()
+    gate = eng.event()
+    observed = []
+
+    def waiter():
+        yield gate
+        observed.append(eng.try_jump(5.0))
+
+    eng.process(waiter())
+    eng.process(waiter())
+
+    def trigger():
+        yield eng.timeout(10)
+        gate.succeed()
+
+    eng.process(trigger())
+    eng.run()
+    assert observed == [False, False]
+    assert eng.now == 10.0
+
+
+def test_try_jump_allowed_for_single_callback():
+    eng = Engine()
+    done = []
+
+    def proc():
+        yield eng.timeout(10)
+        done.append(eng.try_jump(5.0))
+
+    eng.process(proc())
+    eng.run()
+    assert done == [True]
+    assert eng.now == 15.0

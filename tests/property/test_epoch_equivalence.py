@@ -1,0 +1,46 @@
+"""Property: epoch execution never changes a result, only its speed.
+
+``Cpu.run_epochs`` batches provably non-interacting runs of trace items
+into vectorized steps.  The executor's whole correctness contract is
+that this is unobservable — for any application, system, data scale,
+RNG seed, and fault schedule, the :class:`RunResult` must be
+*bit-identical* to the pure event kernel's.  Hypothesis drives the
+sampling; the fixed equivalence matrix in the regression tier pins the
+named configurations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import APP_NAMES
+from repro.config import SimConfig
+from repro.core.runner import run_experiment
+
+
+def _snapshot(res):
+    d = dict(vars(res))
+    d.pop("metrics", None)  # wall-clock noise lives there
+    return repr(d)
+
+
+@given(
+    app=st.sampled_from(sorted(APP_NAMES)),
+    system=st.sampled_from(["standard", "nwcache"]),
+    scale=st.sampled_from([0.02, 0.05, 0.08]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    faults=st.booleans(),
+)
+@settings(max_examples=12, deadline=None)
+def test_epochs_on_off_bit_identical(app, system, scale, seed, faults):
+    kwargs = dict(
+        system=system,
+        data_scale=scale,
+        cfg=SimConfig(seed=seed),
+    )
+    if faults:
+        # Transient disk faults land at event boundaries mid-run; the
+        # epoch validator must re-prove its runs around the damage.
+        kwargs["faults"] = "disk_transient_rate=0.01"
+    base = run_experiment(app, epoch_exec=False, **kwargs)
+    fast = run_experiment(app, epoch_exec=True, **kwargs)
+    assert _snapshot(base) == _snapshot(fast)
