@@ -320,11 +320,48 @@ def bench_epochs(sweeps: int = 20_000) -> dict:
     }
 
 
+def bench_openloop(scale: float) -> dict:
+    """Open-loop pair run (zipf): wall-clock and completed requests/sec.
+
+    One standard+NWCache pair of the ``zipf`` Poisson/Zipf generator on
+    the warm compiled-trace path, in-process best-of-3 after a warm-up
+    run that also populates the trace memo.  ``requests_per_second``
+    counts completed requests across both machines; it is the guarded
+    throughput figure for the open-loop path (``scripts/check_bench.py``
+    fails CI on a >20% drop of any ``*_per_second`` leaf).
+    """
+    from repro.core.runner import run_pair
+
+    std, nwc = run_pair("zipf", data_scale=scale)  # warm-up + reference
+    requests = (std.extras["openloop_completed_requests"]
+                + nwc.extras["openloop_completed_requests"])
+    seconds = _best_of(lambda: run_pair("zipf", data_scale=scale))
+    return {
+        "app": "zipf",
+        "requests": requests,
+        "wall_seconds": seconds,
+        "requests_per_second": requests / seconds if seconds > 0 else 0.0,
+        "events_processed": std.events_processed + nwc.events_processed,
+        "nwcache_exec_ratio": (
+            nwc.exec_time / std.exec_time if std.exec_time > 0 else 0.0
+        ),
+    }
+
+
+#: measurable report sections, in run order
+SECTIONS = ("kernel", "cell", "grid", "trace", "epoch", "openloop", "pair")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--scale", type=float, default=0.1)
     ap.add_argument("--jobs", type=int, default=None)
     ap.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"))
+    ap.add_argument(
+        "--only", nargs="+", choices=SECTIONS, default=None,
+        help="measure only these sections; other sections are kept "
+             "from the existing --out file (merge instead of rewrite)",
+    )
     ap.add_argument(
         "--baseline", type=Path, default=None,
         help="older BENCH_kernel.json to compute pair speedups against",
@@ -346,64 +383,93 @@ def main() -> int:
 
     import tempfile
 
-    print("benchmarking event kernel ...", file=sys.stderr)
-    report = {
+    def want(name: str) -> bool:
+        return args.only is None or name in args.only
+
+    report = {}
+    if args.only and args.out.exists():
+        # partial re-measure: keep the other sections from the record
+        report = json.loads(args.out.read_text())
+    report.update({
         "generated_unix": time.time(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": default_jobs(),
         "scale": args.scale,
-        "kernel": {
+    })
+    if want("kernel"):
+        print("benchmarking event kernel ...", file=sys.stderr)
+        report["kernel"] = {
             "timeout_events_per_second": bench_timeouts(),
             "process_switches_per_second": bench_process_switches(),
-        },
-    }
-    print("benchmarking end-to-end cell ...", file=sys.stderr)
-    report["cell"] = bench_cell(args.scale)
-    print("benchmarking batch grid (serial/parallel/warm cache) ...",
-          file=sys.stderr)
-    with tempfile.TemporaryDirectory() as tmp:
-        report["grid"] = bench_grid(args.scale, jobs, Path(tmp))
-    print("benchmarking trace compilation (cold vs warm) ...", file=sys.stderr)
-    report["trace"] = bench_traces(args.scale)
-    print("benchmarking epoch execution (compute phase, on vs off) ...",
-          file=sys.stderr)
-    report["epoch"] = bench_epochs()
-    print("benchmarking standard+NWCache pairs (generator vs warm trace) ...",
-          file=sys.stderr)
-    report["pair"] = bench_pairs(args.scale, baseline, args.baseline_tree)
-    if args.baseline_tree is not None:
-        report["baseline_source"] = (
-            "generator path re-measured from an older checkout, "
-            "interleaved with this tree's runs"
-        )
-    elif baseline is not None:
-        report["baseline_generated_unix"] = baseline.get("generated_unix")
+        }
+    if want("cell"):
+        print("benchmarking end-to-end cell ...", file=sys.stderr)
+        report["cell"] = bench_cell(args.scale)
+    if want("grid"):
+        print("benchmarking batch grid (serial/parallel/warm cache) ...",
+              file=sys.stderr)
+        with tempfile.TemporaryDirectory() as tmp:
+            report["grid"] = bench_grid(args.scale, jobs, Path(tmp))
+    if want("trace"):
+        print("benchmarking trace compilation (cold vs warm) ...",
+              file=sys.stderr)
+        report["trace"] = bench_traces(args.scale)
+    if want("epoch"):
+        print("benchmarking epoch execution (compute phase, on vs off) ...",
+              file=sys.stderr)
+        report["epoch"] = bench_epochs()
+    if want("openloop"):
+        print("benchmarking open-loop pair (zipf) ...", file=sys.stderr)
+        report["openloop"] = bench_openloop(args.scale)
+    if want("pair"):
+        print("benchmarking standard+NWCache pairs (generator vs warm "
+              "trace) ...", file=sys.stderr)
+        report["pair"] = bench_pairs(args.scale, baseline, args.baseline_tree)
+        if args.baseline_tree is not None:
+            report["baseline_source"] = (
+                "generator path re-measured from an older checkout, "
+                "interleaved with this tree's runs"
+            )
+        elif baseline is not None:
+            report["baseline_generated_unix"] = baseline.get("generated_unix")
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    k, g = report["kernel"], report["grid"]
-    print(f"timeout throughput : {k['timeout_events_per_second']:,.0f} ev/s")
-    print(f"process switches   : {k['process_switches_per_second']:,.0f} /s")
-    print(f"cell simulation    : {report['cell']['events_per_second']:,.0f} ev/s "
-          f"({report['cell']['wall_seconds']:.2f}s)")
-    print(f"grid serial        : {g['serial_seconds']:.2f}s")
-    if "parallel_seconds" in g:
-        print(f"grid parallel x{g['jobs']:<3d}: {g['parallel_seconds']:.2f}s "
-              f"({g['parallel_speedup']:.2f}x)")
-    else:
-        print("grid parallel      : skipped (single CPU)")
-    print(f"grid warm cache    : {g['warm_cache_seconds']:.3f}s "
-          f"({g['warm_cache_fraction_of_serial']:.1%} of serial)")
-    e = report["epoch"]
-    print(f"epoch phase        : {e['speedup']:.1f}x "
-          f"({e['epochs_off_seconds']:.2f}s -> {e['epochs_on_seconds']:.2f}s, "
-          f"{e['epochs_on_items_per_second']:,.0f} items/s)")
-    p = report["pair"]
-    print(f"pair warm/generator: x{p['geomean_speedup_warm_vs_generator']:.2f} "
-          "geomean")
-    if "geomean_speedup_vs_baseline_generator" in p:
-        print("pair vs baseline   : "
-              f"x{p['geomean_speedup_vs_baseline_generator']:.2f} geomean")
+    if "kernel" in report:
+        k = report["kernel"]
+        print(f"timeout throughput : {k['timeout_events_per_second']:,.0f} ev/s")
+        print(f"process switches   : {k['process_switches_per_second']:,.0f} /s")
+    if "cell" in report:
+        print(f"cell simulation    : "
+              f"{report['cell']['events_per_second']:,.0f} ev/s "
+              f"({report['cell']['wall_seconds']:.2f}s)")
+    if "grid" in report:
+        g = report["grid"]
+        print(f"grid serial        : {g['serial_seconds']:.2f}s")
+        if "parallel_seconds" in g:
+            print(f"grid parallel x{g['jobs']:<3d}: {g['parallel_seconds']:.2f}s "
+                  f"({g['parallel_speedup']:.2f}x)")
+        else:
+            print("grid parallel      : skipped (single CPU)")
+        print(f"grid warm cache    : {g['warm_cache_seconds']:.3f}s "
+              f"({g['warm_cache_fraction_of_serial']:.1%} of serial)")
+    if "epoch" in report:
+        e = report["epoch"]
+        print(f"epoch phase        : {e['speedup']:.1f}x "
+              f"({e['epochs_off_seconds']:.2f}s -> {e['epochs_on_seconds']:.2f}s, "
+              f"{e['epochs_on_items_per_second']:,.0f} items/s)")
+    if "openloop" in report:
+        o = report["openloop"]
+        print(f"open-loop pair     : {o['requests_per_second']:,.0f} req/s "
+              f"({o['wall_seconds']:.2f}s, "
+              f"nwc/std exec x{o['nwcache_exec_ratio']:.2f})")
+    if "pair" in report:
+        p = report["pair"]
+        print(f"pair warm/generator: "
+              f"x{p['geomean_speedup_warm_vs_generator']:.2f} geomean")
+        if "geomean_speedup_vs_baseline_generator" in p:
+            print("pair vs baseline   : "
+                  f"x{p['geomean_speedup_vs_baseline_generator']:.2f} geomean")
     print(f"wrote {args.out}")
     return 0
 

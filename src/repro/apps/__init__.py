@@ -23,12 +23,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List
 
+import functools
+
 from repro.apps.base import Workload
 from repro.apps.em3d import Em3d
 from repro.apps.fft import Fft
 from repro.apps.gauss import Gauss
 from repro.apps.lu import Lu
 from repro.apps.mg import Mg
+from repro.apps.openloop import StationaryWorkload, YCSBWorkload
 from repro.apps.radix import Radix
 from repro.apps.sor import Sor
 
@@ -43,29 +46,49 @@ APP_CLASSES: Dict[str, Callable[..., Workload]] = {
     "sor": Sor,
 }
 
+#: the paper's closed-loop kernels; tables/figures/benchmarks iterate
+#: over exactly these, so default paper outputs never change shape
 APP_NAMES: List[str] = list(APP_CLASSES)
+
+#: open-loop request generators (see :mod:`repro.apps.openloop`);
+#: ``openloop-trace`` is file-driven and therefore not registered here
+OPENLOOP_CLASSES: Dict[str, Callable[..., Workload]] = {
+    "zipf": StationaryWorkload,
+    "ycsb-a": functools.partial(YCSBWorkload, preset="a"),
+    "ycsb-b": functools.partial(YCSBWorkload, preset="b"),
+    "ycsb-c": functools.partial(YCSBWorkload, preset="c"),
+    "ycsb-d": functools.partial(YCSBWorkload, preset="d"),
+}
+
+OPENLOOP_NAMES: List[str] = list(OPENLOOP_CLASSES)
+
+#: every name :func:`make_app` accepts
+ALL_APP_NAMES: List[str] = APP_NAMES + OPENLOOP_NAMES
 
 
 def make_app(name: str, scale: float = 1.0, **params: Any) -> Workload:
-    """Instantiate a Table 2 application by name.
+    """Instantiate a workload by name.
 
     Parameters
     ----------
     name:
-        One of :data:`APP_NAMES`.
+        One of :data:`ALL_APP_NAMES` — a Table 2 kernel
+        (:data:`APP_NAMES`) or an open-loop generator
+        (:data:`OPENLOOP_NAMES`).
     scale:
-        Linear problem-size scale; 1.0 reproduces the Table 2 input.
+        Linear problem-size scale; 1.0 reproduces the Table 2 input
+        (for open-loop apps: the default catalog/request counts).
     params:
         Extra keyword arguments forwarded to the workload constructor.
     """
-    try:
-        cls = APP_CLASSES[name]
-    except KeyError:
-        raise ValueError(f"unknown application {name!r}; know {APP_NAMES}") from None
+    cls = APP_CLASSES.get(name) or OPENLOOP_CLASSES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown application {name!r}; know {ALL_APP_NAMES}")
     return cls(scale=scale, **params)
 
 
 __all__ = [
+    "ALL_APP_NAMES",
     "APP_CLASSES",
     "APP_NAMES",
     "Em3d",
@@ -73,8 +96,12 @@ __all__ = [
     "Gauss",
     "Lu",
     "Mg",
+    "OPENLOOP_CLASSES",
+    "OPENLOOP_NAMES",
     "Radix",
     "Sor",
+    "StationaryWorkload",
     "Workload",
+    "YCSBWorkload",
     "make_app",
 ]

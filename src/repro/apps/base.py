@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -79,6 +79,21 @@ class Workload(abc.ABC):
     #: substreams or external state
     trace_compilable: bool = True
 
+    #: open-loop generators (see :mod:`repro.apps.openloop`) set this
+    #: True: their items are *requests* arriving on an exogenous
+    #: schedule, with ``think`` carrying the inter-arrival gap rather
+    #: than closed-loop compute time.  The machine then records
+    #: offered/completed request accounting in ``RunResult.extras``.
+    open_loop: bool = False
+
+    #: barrier keys that mark metric phases: when the barrier with a
+    #: given key releases, :meth:`repro.metrics.Metrics.mark_phase` is
+    #: called with the mapped phase name.  Open-loop workloads use this
+    #: to mark the warmup -> measured boundary so summaries can report
+    #: warmup-excluded rates.  Purely observational: registering a mark
+    #: never changes the simulated trajectory.
+    phase_marks: Dict[Any, str] = {}
+
     def __init__(self, page_size: int = 4096, scale: float = 1.0) -> None:
         if page_size < 512:
             raise ValueError(f"implausible page size {page_size}")
@@ -117,3 +132,15 @@ class Workload(abc.ABC):
 def rng_stream(rng: RngRegistry, app: str, node: int) -> np.random.Generator:
     """Deterministic per-(app, node) generator."""
     return rng.stream(f"app/{app}/node{node}")
+
+
+def workload_stream(rng: RngRegistry, name: str, node: int) -> np.random.Generator:
+    """Dedicated per-(workload, node) Philox substream.
+
+    Open-loop generators draw *only* from ``workload/*`` substreams so
+    their randomness composes with fault injection (``faults/*``) and
+    the kernel drivers (``app/*``) without stream collision: every
+    consumer owns a uniquely named Philox counter stream, so adding or
+    removing one never perturbs another's draws.
+    """
+    return rng.stream(f"workload/{name}/node{node}")

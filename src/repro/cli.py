@@ -4,7 +4,7 @@ Commands
 --------
 ``describe``
     Print the Table 1 machine parameters and the Table 2 workload list.
-``run APP``
+``run APP`` (or ``run --app APP``)
     Run one experiment and print its summary.
 ``compare APP``
     Run both machines on one app and print the headline comparison.
@@ -31,6 +31,15 @@ environment variable supplies a default).
 Grid-running commands (``compare``, ``table``, ``figure``, ``sweep``,
 ``batch``) accept ``--jobs N`` (worker processes; default = CPU count)
 and ``--no-cache`` (skip the on-disk result cache).
+
+Besides the seven Table 2 kernels, ``run``/``compare``/``sweep``/
+``batch``/``trace`` accept the open-loop generators (``zipf``,
+``ycsb-a`` .. ``ycsb-d``; see :mod:`repro.apps.openloop`).  ``run``
+exposes their knobs: ``--rate`` (requests per Mcycle per node),
+``--alpha`` (Zipf exponent), ``--catalog`` (catalog pages),
+``--warmup`` / ``--requests`` (per-node request counts),
+``--write-fraction`` and ``--node-skew``.  ``table``/``figure``
+remain paper-kernel-only (their rows are Table 2's).
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Tuple
 
-from repro.apps import APP_NAMES, make_app
+from repro.apps import ALL_APP_NAMES, APP_NAMES, OPENLOOP_NAMES, make_app
 from repro.config import SimConfig
 from repro.core import report
 from repro.core.machine import RunResult
@@ -62,6 +71,49 @@ def _add_batch_opts(p: argparse.ArgumentParser) -> None:
 
 def _cache_arg(args: argparse.Namespace):
     return False if getattr(args, "no_cache", False) else None
+
+
+#: ``run`` flag -> workload constructor parameter (open-loop apps only)
+_OPENLOOP_KNOBS = {
+    "rate": "rate",
+    "alpha": "alpha",
+    "catalog": "catalog_pages",
+    "warmup": "warmup",
+    "requests": "requests",
+    "write_fraction": "write_fraction",
+    "node_skew": "node_skew",
+}
+
+
+def _resolve_app(args: argparse.Namespace) -> str:
+    """The app from the positional or the ``--app`` flag (exactly one)."""
+    pos = getattr(args, "app", None)
+    opt = getattr(args, "app_opt", None)
+    if pos and opt and pos != opt:
+        print(f"conflicting app arguments: {pos!r} vs --app {opt!r}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    name = pos or opt
+    if not name:
+        print("missing application: pass APP or --app APP "
+              f"(know {ALL_APP_NAMES})", file=sys.stderr)
+        raise SystemExit(2)
+    return name
+
+
+def _openloop_params(args: argparse.Namespace, app: str) -> Dict[str, float]:
+    """Workload kwargs from the open-loop knobs the user actually set."""
+    params = {
+        param: getattr(args, flag)
+        for flag, param in _OPENLOOP_KNOBS.items()
+        if getattr(args, flag, None) is not None
+    }
+    if params and app not in OPENLOOP_NAMES:
+        knobs = ", ".join("--" + f.replace("_", "-") for f in _OPENLOOP_KNOBS)
+        print(f"{app!r} is a closed-loop kernel; {knobs} apply only to "
+              f"the open-loop apps {OPENLOOP_NAMES}", file=sys.stderr)
+        raise SystemExit(2)
+    return params
 
 
 def _summary(res: RunResult) -> str:
@@ -95,6 +147,17 @@ def _summary(res: RunResult) -> str:
             if k != "injected"
         )
         lines.append(f"  faults injected: {injected:12d}  {detail}")
+    if "openloop_completed_requests" in res.extras:
+        completed = int(res.extras["openloop_completed_requests"])
+        offered = int(res.extras.get("openloop_offered_requests", completed))
+        line = f"  open loop      : {completed:12d}/{offered} requests completed"
+        measured = res.metrics.measured_summary()
+        if measured:
+            line += (f"  (measured: ring hits "
+                     f"{measured['measured_ring_hit_rate']:.1%}, "
+                     f"disk-cache hits "
+                     f"{measured['measured_disk_cache_hit_rate']:.1%})")
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -104,6 +167,10 @@ def cmd_describe(args: argparse.Namespace) -> int:
     print(cfg.describe())
     print("\nApplications (Table 2):")
     for name in APP_NAMES:
+        app = make_app(name, scale=1.0)
+        print(f"  {app.describe()}")
+    print("\nOpen-loop workloads (repro.apps.openloop):")
+    for name in OPENLOOP_NAMES:
         app = make_app(name, scale=1.0)
         print(f"  {app.describe()}")
     return 0
@@ -134,6 +201,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def _run_once(args: argparse.Namespace) -> int:
     compiled = False if args.no_compiled_traces else None
     epochs = False if args.no_epochs else None
+    app_name = _resolve_app(args)
+    params = _openloop_params(args, app_name)
     if args.report:
         from repro.core.inspect import machine_report
         from repro.core.machine import Machine
@@ -147,7 +216,8 @@ def _run_once(args: argparse.Namespace) -> int:
         )
         machine = Machine(cfg, system=args.system, prefetch=args.prefetch,
                           compiled_traces=compiled, epoch_exec=epochs)
-        app = make_app(args.app, scale=linear_scale(args.app, args.scale))
+        app = make_app(app_name, scale=linear_scale(app_name, args.scale),
+                       **params)
         res = machine.run(app)
         print(_summary(res))
         print()
@@ -158,11 +228,15 @@ def _run_once(args: argparse.Namespace) -> int:
             print(fault_table)
     else:
         res = run_experiment(
-            args.app, args.system, args.prefetch, data_scale=args.scale,
+            app_name, args.system, args.prefetch, data_scale=args.scale,
             audit=args.audit or None, compiled_traces=compiled,
-            epoch_exec=epochs, faults=args.faults,
+            epoch_exec=epochs, faults=args.faults, **params,
         )
         print(_summary(res))
+    openloop_table = report.openloop_section(res)
+    if openloop_table:
+        print()
+        print(openloop_table)
     if args.json:
         from repro.core.export import save_results
 
@@ -372,9 +446,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("run", help="run one experiment")
-    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("app", nargs="?", choices=ALL_APP_NAMES)
+    p.add_argument("--app", dest="app_opt", choices=ALL_APP_NAMES,
+                   help="application to run (same as the positional)")
     p.add_argument("--system", choices=("standard", "nwcache"),
                    default="nwcache")
+    g = p.add_argument_group("open-loop workload knobs (zipf/ycsb-* only)")
+    g.add_argument("--rate", type=float, default=None,
+                   help="arrival rate, requests per Mcycle per node")
+    g.add_argument("--alpha", type=float, default=None,
+                   help="Zipf popularity exponent over the page catalog")
+    g.add_argument("--catalog", type=int, default=None,
+                   help="catalog pages (before scaling)")
+    g.add_argument("--warmup", type=int, default=None,
+                   help="per-node warmup requests excluded from "
+                        "measured_* metrics (before scaling)")
+    g.add_argument("--requests", type=int, default=None,
+                   help="per-node measured requests (before scaling)")
+    g.add_argument("--write-fraction", type=float, default=None,
+                   help="fraction of zipf requests that also write")
+    g.add_argument("--node-skew", type=float, default=None,
+                   help="Zipf exponent skewing per-node arrival rates "
+                        "(0 = uniform)")
     p.add_argument("--report", action="store_true",
                    help="also print per-component utilization")
     p.add_argument("--json", metavar="PATH",
@@ -399,7 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="standard vs NWCache on one app")
-    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("app", choices=ALL_APP_NAMES)
     _add_common(p)
     _add_batch_opts(p)
     p.set_defaults(func=cmd_compare)
@@ -419,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("sweep", help="sweep one machine parameter")
-    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("app", choices=ALL_APP_NAMES)
     p.add_argument("parameter",
                    help="SimConfig field, e.g. ring_channel_bytes")
     p.add_argument("values", nargs="+", help="integer values to sweep")
@@ -432,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "batch", help="run an experiment grid via the parallel batch runner"
     )
-    p.add_argument("--apps", nargs="*", choices=APP_NAMES)
+    p.add_argument("--apps", nargs="*", choices=ALL_APP_NAMES)
     p.add_argument("--systems", nargs="*", choices=("standard", "nwcache"))
     p.add_argument("--prefetchers", nargs="*",
                    choices=("optimal", "naive", "stream"))
@@ -452,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tsub = p.add_subparsers(dest="trace_command", required=True)
     pr = tsub.add_parser("record")
-    pr.add_argument("app", choices=APP_NAMES)
+    pr.add_argument("app", choices=ALL_APP_NAMES)
     pr.add_argument("path")
     pr.add_argument("--nodes", type=int, default=8)
     pr.add_argument("--seed", type=int, default=0)
@@ -461,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc = tsub.add_parser(
         "compile", help="compile an app into the on-disk trace cache"
     )
-    pc.add_argument("app", choices=APP_NAMES)
+    pc.add_argument("app", choices=ALL_APP_NAMES)
     pc.add_argument("--nodes", type=int, default=8)
     pc.add_argument("--seed", type=int, default=1999,
                     help="master seed (default: the experiment seed)")

@@ -86,6 +86,9 @@ def _metrics_to_dict(m: Metrics) -> Dict[str, Any]:
         "disk_hit_latency": _tally_to_dict(m.disk_hit_latency),
         "ring_hit_latency": _tally_to_dict(m.ring_hit_latency),
         "counts": m.counts.as_dict(),
+        "phases": {
+            name: dict(snap) for name, snap in m.phases.items()
+        },
     }
 
 
@@ -96,6 +99,9 @@ def _metrics_from_dict(d: Dict[str, Any]) -> Metrics:
         setattr(m, name, _tally_from_dict(d[name]))
     for key, val in d["counts"].items():
         m.counts.add(key, int(val))
+    # absent in exports from before phase accounting existed
+    for name, snap in d.get("phases", {}).items():
+        m.phases[name] = {k: float(v) for k, v in snap.items()}
     return m
 
 

@@ -276,6 +276,7 @@ class Machine:
                 f"app page size {app.page_size} != machine {self.cfg.page_size}"
             )
         pages = self.load(app)
+        self._install_phase_marks(app)
         trace = self._request_trace(app)
         if trace is not None:
             # Compiled fast path: replay the workload's array-backed
@@ -340,6 +341,22 @@ class Machine:
             self.auditor.check_all()
         return self._collect(app)
 
+    def _install_phase_marks(self, app: Workload) -> None:
+        """Register the app's phase-mark barriers as metric observers.
+
+        Workloads map barrier keys to phase names via ``phase_marks``
+        (open-loop generators mark the warmup -> measured boundary);
+        the barrier's release calls :meth:`Metrics.mark_phase`, which
+        observes but never mutates simulation state — trajectories stay
+        bit-identical across the generator/compiled/epoch paths.
+        """
+        marks = getattr(app, "phase_marks", None) or {}
+        metrics = self.metrics
+        for key, phase in marks.items():
+            self.barriers.get(key).on_release = (
+                lambda _b, _phase=phase: metrics.mark_phase(_phase)
+            )
+
     def _collect(self, app: Workload) -> RunResult:
         combining = Tally()
         for ctrl in self.controllers:
@@ -370,6 +387,28 @@ class Machine:
             extras["audit_checks"] = float(self.auditor.checks)
         if self.fault_injector is not None:
             extras["faults_injected"] = float(self.fault_injector.n_injected)
+        if getattr(app, "open_loop", False):
+            # Open-loop accounting: offered (the arrival schedule) vs
+            # completed (visits the CPUs executed), plus how skewed the
+            # configured per-node rates and the completed per-node
+            # request counts ended up (max / mean; 1.0 = uniform).
+            visits = [float(c.stats["visits"]) for c in self.cpus]
+            completed = sum(visits)
+            extras["openloop_completed_requests"] = completed
+            offered = getattr(app, "offered_requests", None)
+            if callable(offered):
+                extras["openloop_offered_requests"] = float(offered(ncpu))
+            node_rates = getattr(app, "node_rates", None)
+            if callable(node_rates):
+                rates = node_rates(ncpu)
+                mean_rate = sum(rates) / len(rates)
+                extras["openloop_rate_skew"] = (
+                    max(rates) / mean_rate if mean_rate else 0.0
+                )
+            mean_visits = completed / ncpu
+            extras["openloop_request_skew"] = (
+                max(visits) / mean_visits if mean_visits else 0.0
+            )
         return RunResult(
             app=app.name,
             system=self.system,

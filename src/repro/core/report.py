@@ -228,6 +228,57 @@ def fault_section(res: RunResult) -> str:
     )
 
 
+# ---------------------------------------------------------- open-loop report
+def openloop_section(res: RunResult) -> str:
+    """Open-loop accounting for one run (empty string for kernels).
+
+    Shows offered vs completed requests, configured per-node rate skew,
+    and — when the workload marked a warmup boundary — the
+    warmup-excluded (``measured_*``) hit rates and latencies from
+    :meth:`repro.metrics.Metrics.measured_summary`.
+    """
+    extras = res.extras
+    if "openloop_completed_requests" not in extras:
+        return ""
+    rows = [
+        ["completed requests", f"{extras['openloop_completed_requests']:.0f}"],
+    ]
+    if "openloop_offered_requests" in extras:
+        rows.insert(
+            0, ["offered requests", f"{extras['openloop_offered_requests']:.0f}"]
+        )
+    if "openloop_rate_skew" in extras:
+        rows.append(["node rate skew (max/mean)", f"{extras['openloop_rate_skew']:.2f}"])
+    rows.append(
+        ["node request skew (max/mean)", f"{extras.get('openloop_request_skew', 0.0):.2f}"]
+    )
+    measured = res.metrics.measured_summary()
+    if measured:
+        rows.extend(
+            [
+                ["measured faults", f"{measured['measured_n_faults']:.0f}"],
+                ["measured ring hit rate", f"{measured['measured_ring_hit_rate']:.1%}"],
+                [
+                    "measured disk cache hit rate",
+                    f"{measured['measured_disk_cache_hit_rate']:.1%}",
+                ],
+                [
+                    "measured fault latency (pcycles)",
+                    f"{measured['measured_fault_latency_mean_pcycles']:.0f}",
+                ],
+                [
+                    "measured swap-out (pcycles)",
+                    f"{measured['measured_swapout_mean_pcycles']:.0f}",
+                ],
+            ]
+        )
+    return render_table(
+        f"Open-loop accounting: {res.app} on {res.system}/{res.prefetch}",
+        ["quantity", "value"],
+        rows,
+    )
+
+
 #: one glyph per execution-time component, in bar order
 _BAR_GLYPHS = {"nofree": "N", "transit": "T", "fault": "F", "tlb": "L", "other": "."}
 

@@ -37,7 +37,9 @@ BEST_MIN_FREE: Dict[Tuple[str, str], int] = {
     (SYSTEM_NWCACHE, "stream"): 2,
 }
 
-#: data-size exponent of each app's linear dimension (for scaling)
+#: data-size exponent of each app's linear dimension (for scaling);
+#: apps not listed — e.g. the open-loop generators, whose catalog and
+#: request counts are linear in ``scale`` — default to 1.0
 DATA_EXPONENT: Dict[str, float] = {
     "sor": 2.0,
     "gauss": 2.0,
@@ -116,7 +118,7 @@ def run_experiment(
     Parameters
     ----------
     app:
-        Application name (see :data:`repro.apps.APP_NAMES`) or a
+        Application name (see :data:`repro.apps.ALL_APP_NAMES`) or a
         pre-built :class:`~repro.apps.base.Workload`.
     system:
         ``"standard"`` or ``"nwcache"``.

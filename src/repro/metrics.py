@@ -41,7 +41,15 @@ class Metrics:
         ``degraded_swapouts``, ``ring_pages_lost``, per-kind injection
         counts).  Empty — and absent from :meth:`summary` — when no
         fault plan is configured.
+    phases:
+        Named mid-run snapshots recorded by :meth:`mark_phase` (open-loop
+        workloads mark ``"measured"`` at the warmup boundary).  Empty —
+        and absent from :meth:`summary` — when no phase was marked.
     """
+
+    #: tallies snapshotted by :meth:`mark_phase` (count + running total,
+    #: enough to reconstruct the post-mark mean)
+    PHASE_TALLIES = ("swapout", "fault_latency", "disk_hit_latency", "ring_hit_latency")
 
     def __init__(self) -> None:
         self.swapout = Tally()
@@ -51,6 +59,7 @@ class Metrics:
         self.ring_hit_latency = Tally()
         self.counts = Counter()
         self.faults = Counter()
+        self.phases: Dict[str, Dict[str, float]] = {}
 
     # -- derived results ------------------------------------------------------
     @property
@@ -64,6 +73,55 @@ class Metrics:
         """Controller-cache hit fraction among disk-serviced reads."""
         served = self.counts["disk_cache_hits"] + self.counts["disk_reads"]
         return self.counts["disk_cache_hits"] / served if served else 0.0
+
+    # -- phase accounting -----------------------------------------------------
+    def mark_phase(self, name: str) -> None:
+        """Snapshot counters and tallies under ``name``.
+
+        Later snapshots under the same name overwrite earlier ones (a
+        reused boundary barrier marks its *latest* release).  Purely
+        observational: marking a phase never changes what the machine
+        measures, only how :meth:`summary` can slice it.
+        """
+        snap: Dict[str, float] = {}
+        for key, val in self.counts.as_dict().items():
+            snap[f"n_{key}"] = float(val)
+        for tname in self.PHASE_TALLIES:
+            tally = getattr(self, tname)
+            snap[f"{tname}_n"] = float(tally.n)
+            snap[f"{tname}_total"] = float(tally.total)
+        self.phases[name] = snap
+
+    def measured_summary(self) -> Dict[str, float]:
+        """Warmup-excluded slice: everything after the ``measured`` mark.
+
+        Returns ``{}`` unless :meth:`mark_phase` recorded a
+        ``"measured"`` snapshot (open-loop workloads do, at their
+        warmup boundary barrier).  Counters become ``measured_n_*``
+        deltas; latency tallies become post-mark means; hit rates are
+        recomputed over the measured window only.
+        """
+        snap = self.phases.get("measured")
+        if snap is None:
+            return {}
+        out: Dict[str, float] = {}
+        for key, val in self.counts.as_dict().items():
+            out[f"measured_n_{key}"] = float(val) - snap.get(f"n_{key}", 0.0)
+        for tname in self.PHASE_TALLIES:
+            tally = getattr(self, tname)
+            dn = tally.n - snap.get(f"{tname}_n", 0.0)
+            dtotal = tally.total - snap.get(f"{tname}_total", 0.0)
+            out[f"measured_{tname}_mean_pcycles"] = dtotal / dn if dn else 0.0
+        faults = out.get("measured_n_faults", 0.0)
+        ring_hits = out.get("measured_n_ring_hits", 0.0)
+        out["measured_ring_hit_rate"] = ring_hits / faults if faults else 0.0
+        served = out.get("measured_n_disk_cache_hits", 0.0) + out.get(
+            "measured_n_disk_reads", 0.0
+        )
+        out["measured_disk_cache_hit_rate"] = (
+            out.get("measured_n_disk_cache_hits", 0.0) / served if served else 0.0
+        )
+        return out
 
     def summary(self) -> Dict[str, float]:
         """Flat snapshot for reports and tests."""
@@ -80,4 +138,5 @@ class Metrics:
             out[f"n_{key}"] = float(val)
         for key, val in self.faults.as_dict().items():
             out[f"fault_{key}"] = float(val)
+        out.update(self.measured_summary())
         return out

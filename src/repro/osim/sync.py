@@ -31,6 +31,10 @@ class Barrier:
         #: per-arrival wait durations (simulation diagnostics)
         self.wait_time = Tally()
         self.n_releases = 0
+        #: observer invoked (with this barrier) at each release, before
+        #: the waiters resume; used for metric phase marks.  Must not
+        #: touch simulation state — releases stay trajectory-neutral.
+        self.on_release = None
 
     def wait(self) -> Event:
         """Arrive at the barrier; the event fires when all have arrived."""
@@ -41,6 +45,8 @@ class Barrier:
             self._arrived = 0
             self._gate = None
             self.n_releases += 1
+            if self.on_release is not None:
+                self.on_release(self)
             ev = self.engine.event()
             ev.succeed()
             if gate is not None:

@@ -16,6 +16,8 @@ CELLS = [
     ("sor", "nwcache", "optimal"),
     ("radix", "standard", "naive"),
     ("fft", "nwcache", "naive"),
+    ("zipf", "nwcache", "optimal"),
+    ("ycsb-a", "standard", "optimal"),
 ]
 
 

@@ -140,3 +140,39 @@ def test_key_is_stable_across_hash_seeds():
     assert len(digests) == 1
     # and the in-process digest agrees with the subprocess ones
     assert _key_in_subprocess("0") == _key_in_subprocess("1")
+
+
+# --------------------------------------------------- open-loop app params
+_OPENLOOP_PARAMS = st.fixed_dictionaries(
+    {},
+    optional={
+        "rate": st.floats(min_value=1.0, max_value=1000.0,
+                          allow_nan=False, allow_infinity=False),
+        "alpha": st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        "catalog_pages": st.integers(min_value=16, max_value=65536),
+        "warmup": st.integers(min_value=0, max_value=10_000),
+        "requests": st.integers(min_value=1, max_value=100_000),
+        "node_skew": st.floats(min_value=0.0, max_value=2.0,
+                               allow_nan=False),
+        "write_fraction": st.floats(min_value=0.0, max_value=1.0,
+                                    allow_nan=False),
+    },
+)
+
+
+@given(params=_OPENLOOP_PARAMS, seed=st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_openloop_param_keys_are_order_stable(params, seed):
+    """Open-loop knob dicts key identically regardless of insertion
+    order, and distinct knob values never collide — the property batch
+    sweeps over zipf/ycsb cells rely on."""
+    items = list(params.items())
+    seed.shuffle(items)
+    shuffled = dict(items)
+    key = cache_key(CFG, "zipf", "nwcache", "optimal", app_params=params)
+    assert key == cache_key(CFG, "zipf", "nwcache", "optimal",
+                            app_params=shuffled)
+    if params.get("rate") != 999.0:
+        bumped = dict(params, rate=999.0)
+        assert key != cache_key(CFG, "zipf", "nwcache", "optimal",
+                                app_params=bumped)

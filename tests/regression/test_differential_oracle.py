@@ -15,7 +15,9 @@ from repro.core.runner import BEST_MIN_FREE, experiment_config, linear_scale
 from repro.osim.pagetable import PageState
 
 SCALE = 0.1
-APPS = ["sor", "radix", "fft"]
+# two kernels + the open-loop generators: the oracle holds regardless of
+# whether traffic is closed-loop compute or open-loop requests
+APPS = ["sor", "radix", "fft", "zipf", "ycsb-a"]
 PREFETCH = "naive"
 
 

@@ -1,0 +1,139 @@
+"""Statistical validation of the open-loop workload generators.
+
+Same philosophy as ``test_analytic_crosscheck.py``: the generators make
+quantitative distributional promises (Zipf rank popularity, Poisson
+arrivals, per-node rate skew, exact warmup boundaries), so we test them
+against the analytic forms, not just for "runs without crashing".
+
+All tests use fixed seeds, so outcomes are deterministic: a failure
+means the generator changed, not that the dice came up wrong.  The
+goodness-of-fit thresholds (p > 0.01) were checked to pass with wide
+margin at these seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.openloop import StationaryWorkload, TruncatedZipfDist, YCSBWorkload
+from repro.sim.rng import RngRegistry
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+SEED = 1999
+
+
+def _gen(name="validation"):
+    return RngRegistry(SEED).stream(f"workload/{name}/node0")
+
+
+# ------------------------------------------------------------- zipf dist
+def test_zipf_pdf_matches_analytic_form():
+    d = TruncatedZipfDist(alpha=0.8, n=50)
+    ranks = np.arange(1, 51, dtype=np.float64)
+    weights = ranks ** -0.8
+    expected = weights / weights.sum()
+    assert d.probabilities == pytest.approx(expected, rel=1e-12)
+    assert d.cdf(50) == pytest.approx(1.0)
+    assert d.pdf(1) > d.pdf(2) > d.pdf(50)
+
+
+def test_zipf_alpha_zero_is_uniform():
+    d = TruncatedZipfDist(alpha=0.0, n=10)
+    assert d.probabilities == pytest.approx(np.full(10, 0.1))
+
+
+def test_zipf_rank_frequencies_chi_square():
+    """Chi-square goodness of fit: sampled rank frequencies against the
+    exact truncated-Zipf pmf."""
+    d = TruncatedZipfDist(alpha=0.8, n=50)
+    n_samples = 50_000
+    ranks = d.sample(_gen(), n_samples)
+    assert ranks.min() >= 1 and ranks.max() <= 50
+    observed = np.bincount(ranks, minlength=51)[1:]
+    expected = d.probabilities * n_samples
+    assert expected.min() > 5  # chi-square validity condition
+    stat, p = scipy_stats.chisquare(observed, expected)
+    assert p > 0.01, f"Zipf rank frequencies reject the pmf (p={p:.4g})"
+
+
+def test_zipf_scalar_rv_agrees_with_vector_sample():
+    """rv() and sample() consume uniforms identically."""
+    d = TruncatedZipfDist(alpha=1.1, n=32)
+    scalars = [d.rv(_gen()) for _ in range(1)]  # fresh stream each call
+    vector = d.sample(_gen(), 1)
+    assert scalars[0] == int(vector[0])
+
+
+# ------------------------------------------------------- poisson arrivals
+def _think_times(wl, n_nodes=4, node=0):
+    stream = wl.streams(n_nodes, 0, RngRegistry(SEED))[node]
+    return np.array([item[4] for item in stream if item[0] == "visit"])
+
+
+def test_interarrival_times_are_exponential_ks():
+    """KS test: inter-arrival gaps against Exp(mean = 1e6/rate)."""
+    wl = StationaryWorkload(scale=1.0, rate=100.0, warmup=0, requests=2000)
+    gaps = _think_times(wl)
+    assert len(gaps) == 2000
+    mean_gap = 1e6 / 100.0
+    stat, p = scipy_stats.kstest(gaps, "expon", args=(0, mean_gap))
+    assert p > 0.01, f"inter-arrival gaps reject Exp({mean_gap}) (p={p:.4g})"
+
+
+def test_interarrival_mean_matches_rate_per_node():
+    """Empirical per-node mean gap tracks each node's configured rate."""
+    wl = StationaryWorkload(
+        scale=1.0, rate=50.0, node_skew=1.0, warmup=0, requests=3000
+    )
+    rates = wl.node_rates(4)
+    for node in range(4):
+        gaps = _think_times(wl, n_nodes=4, node=node)
+        assert gaps.mean() == pytest.approx(1e6 / rates[node], rel=0.1)
+
+
+# ------------------------------------------------------------- rate skew
+def test_node_rates_uniform_without_skew():
+    wl = StationaryWorkload(rate=25.0)
+    assert wl.node_rates(8) == [25.0] * 8
+
+
+def test_node_rates_zipf_skew_sums_to_total():
+    wl = StationaryWorkload(rate=25.0, node_skew=1.2)
+    rates = wl.node_rates(8)
+    # skew redistributes, never creates or destroys, offered load
+    assert sum(rates) == pytest.approx(25.0 * 8)
+    assert rates == sorted(rates, reverse=True)
+    assert rates[0] > 25.0 > rates[-1]
+    # and follows the zipf weights exactly
+    weights = TruncatedZipfDist(1.2, 8).probabilities
+    assert rates == pytest.approx([25.0 * 8 * w for w in weights])
+
+
+# -------------------------------------------------------- warmup boundary
+@pytest.mark.parametrize("wl_cls", [StationaryWorkload, YCSBWorkload])
+def test_warmup_measured_boundary_is_exact(wl_cls):
+    """Every stream emits exactly ``warmup`` requests, then the measured
+    barrier, then exactly ``requests`` requests."""
+    from repro.apps.openloop import MEASURED_BARRIER
+
+    wl = wl_cls(scale=1.0, warmup=70, requests=130)
+    for stream in wl.streams(3, 0, RngRegistry(SEED)):
+        items = list(stream)
+        marks = [i for i, it in enumerate(items)
+                 if it[0] == "barrier" and it[1] == MEASURED_BARRIER]
+        assert len(marks) == 1
+        before = [it for it in items[:marks[0]] if it[0] == "visit"]
+        after = [it for it in items[marks[0]:] if it[0] == "visit"]
+        assert len(before) == 70
+        assert len(after) == 130
+
+
+def test_offered_request_accounting():
+    wl = StationaryWorkload(scale=1.0, warmup=10, requests=40)
+    assert wl.offered_requests(8) == 8 * 50
+    assert wl.measured_requests(8) == 8 * 40
+    streams = wl.streams(8, 0, RngRegistry(SEED))
+    emitted = sum(
+        1 for s in streams for item in s if item[0] == "visit"
+    )
+    assert emitted == wl.offered_requests(8)
