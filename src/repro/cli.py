@@ -138,6 +138,19 @@ def _summary(res: RunResult) -> str:
             f"invariant checks in {int(res.extras['audit_passes'])} passes, "
             "all held"
         )
+    if "epoch_attempted" in res.extras:
+        rejected = int(res.extras["epoch_rejected"])
+        reasons = "  ".join(
+            f"{k[len('epoch_rejected_'):]}={int(v)}"
+            for k, v in sorted(res.extras.items())
+            if k.startswith("epoch_rejected_") and v > 0
+        )
+        lines.append(
+            f"  epochs         : {int(res.extras['epoch_items']):12d} "
+            f"items in {int(res.extras['epoch_batches'])} batches "
+            f"({int(res.extras['epoch_accepted'])} accepted, "
+            f"{rejected} rejected{': ' + reasons if reasons else ''})"
+        )
     faults = getattr(res.metrics, "faults", None)
     fault_counts = faults.as_dict() if faults is not None else {}
     if fault_counts:
@@ -237,6 +250,10 @@ def _run_once(args: argparse.Namespace) -> int:
     if openloop_table:
         print()
         print(openloop_table)
+    epoch_table = report.epoch_section(res)
+    if epoch_table:
+        print()
+        print(epoch_table)
     if args.json:
         from repro.core.export import save_results
 

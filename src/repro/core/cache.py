@@ -48,7 +48,9 @@ from repro.core.machine import RunResult
 #: mixed-key dicts and sets (repr of a set depends on PYTHONHASHSEED).
 #: v3: checksummed envelope on disk; ``faults`` on SimConfig and
 #: ``Metrics.faults`` accounting (old pickles lack both).
-CACHE_FORMAT_VERSION = 3
+#: v4: ``epoch_*`` profiler extras on epoch-executed results (old
+#: pickles lack the rejection counters).
+CACHE_FORMAT_VERSION = 4
 
 #: name of the quarantine directory inside a cache root
 CORRUPT_DIR = "corrupt"

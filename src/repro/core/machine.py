@@ -127,6 +127,9 @@ class Machine:
         #: Disable with ``epoch_exec=False``, ``--no-epochs``, or
         #: ``NWCACHE_EPOCH_EXEC=0``.
         self.epoch_exec = bool(epoch_exec)
+        #: whether the last run() actually took the epoch path (gates
+        #: the epoch-rejection profile in ``RunResult.extras``)
+        self._used_epochs = False
         self.prefetch = PrefetchMode(prefetch)
         self.engine = Engine()
         self.rng = RngRegistry(cfg.seed)
@@ -288,8 +291,15 @@ class Machine:
             use_epochs = self.epoch_exec and all(
                 getattr(p, "epoch_touch_safe", False) for p in self.vm.resident
             )
+            self._used_epochs = use_epochs
             if use_epochs:
                 self.vm.jump_transfers = True
+                # The swap-out and disk-controller paths attempt the
+                # same uncontended clock jumps (trajectory-neutral; see
+                # docs/performance.md "Contended epochs").
+                self.swap.jump_transfers = True
+                for ctrl in self.controllers:
+                    ctrl.jump_clock = True
                 procs = [
                     self.engine.process(cpu.run_epochs(trace, n, pages.start))
                     for n, cpu in enumerate(self.cpus)
@@ -382,6 +392,29 @@ class Machine:
             "ring_stored_peak": float(self.ring.total_stored) if self.ring else 0.0,
             "tlb_hit_rate": sum(t.hit_rate for t in self.tlbs) / ncpu,
         }
+        if self._used_epochs:
+            # Epoch-rejection profile: how much of the stream ran
+            # batched, and why the rest stayed evented.  Floats so they
+            # survive the extras JSON round-trip; stripped from every
+            # bit-identity comparison (absent entirely with epochs off).
+            from repro.hw.cpu import EPOCH_REJECT_REASONS
+
+            attempted = sum(c.epoch_attempted for c in self.cpus)
+            accepted = sum(c.epoch_accepted for c in self.cpus)
+            extras["epoch_attempted"] = float(attempted)
+            extras["epoch_accepted"] = float(accepted)
+            extras["epoch_rejected"] = float(attempted - accepted)
+            extras["epoch_items"] = float(
+                sum(c.epoch_items for c in self.cpus)
+            )
+            extras["epoch_batches"] = float(
+                sum(c.epoch_batches for c in self.cpus)
+            )
+            extras["epoch_events_jumped"] = float(self.engine.events_jumped)
+            for reason in EPOCH_REJECT_REASONS:
+                extras[f"epoch_rejected_{reason}"] = float(
+                    sum(c.epoch_rejects.get(reason, 0) for c in self.cpus)
+                )
         if self.auditor is not None:
             extras["audit_passes"] = float(self.auditor.passes)
             extras["audit_checks"] = float(self.auditor.checks)

@@ -173,11 +173,16 @@ class CompiledTrace:
             idx = np.arange(n)
             marked = np.where(boundary, idx, n)
             next_boundary = np.minimum.accumulate(marked[::-1])[::-1]
-            busy_think = (
-                (self.reads[proc] + self.writes[proc]) * cpa
-                + self.thinks[proc]
-            )
+            # Hard boundaries ignore the window heuristic: only non-visit
+            # items (barriers) end a *contended* epoch, which batches
+            # window misses too and stops on live page-table state
+            # instead of static reuse.
+            hard_marked = np.where(kinds != KIND_VISIT, idx, n)
+            next_hard = np.minimum.accumulate(hard_marked[::-1])[::-1]
+            n_access = self.reads[proc] + self.writes[proc]
+            busy_think = n_access * cpa + self.thinks[proc]
             max_run = int((next_boundary - idx).max()) if n else 0
+            max_hard_run = int((next_hard - idx).max()) if n else 0
             plan = plans[key] = EpochPlan(
                 next_boundary=next_boundary,
                 busy_think=busy_think,
@@ -198,7 +203,10 @@ class CompiledTrace:
                 busy_list=busy_think.tolist(),
                 write_list=(self.writes[proc] > 0).tolist(),
                 boundary_list=next_boundary.tolist(),
+                hard_list=next_hard.tolist(),
+                naccess_list=n_access.tolist(),
                 max_run=max_run,
+                max_hard_run=max_hard_run,
             )
         return plan
 
@@ -248,7 +256,10 @@ class EpochPlan:
     busy_list: list             #: ``busy_think.tolist()``
     write_list: list            #: ``is_write.tolist()``
     boundary_list: list         #: ``next_boundary.tolist()``
+    hard_list: list             #: next non-visit index at or after ``i``
+    naccess_list: list          #: per-item ``reads + writes``
     max_run: int                #: longest candidate run in the stream
+    max_hard_run: int           #: longest barrier-free run in the stream
 
 
 def reuse_distances(kinds: np.ndarray, pages: np.ndarray) -> np.ndarray:

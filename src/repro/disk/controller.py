@@ -97,6 +97,10 @@ class DiskController:
         self._io = disk.io
         self._fault_plan: Any = None
         self._fault_injector: Any = None
+        #: attempt an uncontended clock jump for the fixed controller
+        #: overhead on reads (set by the machine when epoch execution is
+        #: active; bit-identical to the evented timeout either way)
+        self.jump_clock = False
         engine.process(self._flusher())
 
     # ------------------------------------------------------------- inspection
@@ -198,7 +202,9 @@ class DiskController:
         bus, network, memory bus); this method models cache lookup, the
         disk operation on a miss, and naive prefetching.
         """
-        yield Timeout(self.engine, self.cfg.controller_overhead_pcycles)
+        d = self.cfg.controller_overhead_pcycles
+        if not (self.jump_clock and self.engine.try_jump(d, 1)):
+            yield Timeout(self.engine, d)
         if self.prefetch is PrefetchMode.OPTIMAL:
             # Idealized prefetching: the page is always already cached
             # (read "in the background of page read requests").

@@ -20,6 +20,7 @@ the processor's execution time.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_right
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
@@ -27,7 +28,7 @@ import numpy as np
 
 from repro.config import SimConfig
 from repro.hw.accounting import CATEGORIES, TimeAccount
-from repro.hw.cache import CacheModel
+from repro.hw.cache import BLOCK_BYTES, CacheModel
 from repro.hw.network import MeshNetwork
 from repro.osim.pagetable import PageState
 from repro.osim.sync import BarrierRegistry
@@ -41,14 +42,50 @@ FLUSH_QUANTUM_PCYCLES = 20_000.0
 #: fixed per-epoch overhead loses to the per-item loop
 MIN_EPOCH_ITEMS = 12
 
+def _vector_min_items() -> int:
+    """The scalar/NumPy crossover, tunable via ``NWCACHE_EPOCH_MIN_ITEMS``.
+
+    Values below 1 (or garbage) fall back to the built-in default; the
+    knob only moves the crossover between two bit-identical arms, so any
+    setting is safe — it is a tuning lever, not a semantic switch.
+    """
+    raw = os.environ.get("NWCACHE_EPOCH_MIN_ITEMS", "")
+    try:
+        v = int(raw)
+    except ValueError:
+        return 128
+    return v if v >= 1 else 128
+
+
 #: epochs at least this long take the vectorized NumPy arms inside
 #: ``Cpu._epoch_step`` (same arithmetic, array-at-a-time); shorter
 #: epochs keep the scalar loops, which win under ~100 items
-EPOCH_VECTOR_MIN_ITEMS = 128
+EPOCH_VECTOR_MIN_ITEMS = _vector_min_items()
 
 #: longest run examined per epoch attempt, bounding per-attempt array
 #: work (a longer run simply takes several epochs)
 MAX_EPOCH_ITEMS = 8192
+
+#: why epoch attempts stop short — the rejection-profiler taxonomy
+#: (surfaced per run in ``RunResult.extras`` as ``epoch_rejected_*``):
+#:
+#: * ``window_miss``   — a page fell out of this CPU's resident window
+#:   and the contended step was not applicable (static plan gutted)
+#: * ``tlb_cap``       — the run's distinct pages overflow the TLB, so
+#:   the first-occurrence replay proof no longer holds
+#: * ``shared_dirty``  — the page is in motion on another processor
+#:   (INFLIGHT/SWAPPING/RING): genuine cross-processor interference
+#: * ``contended_pipe``— a required clock jump would be refused (queued
+#:   events before the target, bus/mesh occupied, or run-limit/horizon)
+#: * ``fault_boundary``— the page is ABSENT: a real page fault must run
+#:   through the evented slow path
+EPOCH_REJECT_REASONS = (
+    "window_miss",
+    "tlb_cap",
+    "shared_dirty",
+    "contended_pipe",
+    "fault_boundary",
+)
 
 #: stream item types
 Item = Tuple[Any, ...]
@@ -84,10 +121,14 @@ class Cpu:
         self._stolen_sum = 0.0  #: running total of self._stolen
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
-        #: epoch-executor diagnostics (perf reporting only — never part
-        #: of a RunResult, which must be identical with epochs off)
+        #: epoch-executor diagnostics (profiling only — surfaced in
+        #: ``RunResult.extras`` when epochs ran, absent otherwise, and
+        #: excluded from every bit-identity comparison)
         self.epoch_items = 0
         self.epoch_batches = 0
+        self.epoch_attempted = 0
+        self.epoch_accepted = 0
+        self.epoch_rejects: Dict[str, int] = {}
         self._epoch_skip = 0
 
     # -- lazy time ---------------------------------------------------------
@@ -396,8 +437,19 @@ class Cpu:
         i = 0
         # A stream with no candidate run long enough never attempts an
         # epoch: pinning attempt_from past the end makes the per-item
-        # check a single always-false integer compare.
+        # check a single always-false integer compare.  hard_from plays
+        # the same role for the contended step, which only needs the run
+        # to be barrier-free — window misses are fair game — but cannot
+        # run under the audit tick hook (the hook would observe state
+        # mid-commit between the step's internal jumps).
         attempt_from = 0 if plan.max_run >= MIN_EPOCH_ITEMS else n
+        hard_b = plan.hard_list
+        hard_from = (
+            0
+            if engine._tick_hook is None
+            and plan.max_hard_run >= MIN_EPOCH_ITEMS
+            else n
+        )
         while i < n:
             if kinds[i] == KIND_VISIT:
                 if i >= attempt_from and next_b[i] - i >= MIN_EPOCH_ITEMS:
@@ -427,6 +479,33 @@ class Cpu:
                                 self._pending_sum = 0.0
                         continue
                     attempt_from = self._epoch_skip
+                if i >= hard_from and hard_b[i] - i >= MIN_EPOCH_ITEMS:
+                    c = self._contended_step(plan, i, hard_b[i], page_base)
+                    if c:
+                        n_visits += c
+                        i += c
+                        if self._pending_sum >= FLUSH_QUANTUM_PCYCLES:
+                            if self._stolen_sum:  # _flush(), inlined
+                                for cat, sv in stolen.items():
+                                    if sv:
+                                        pending[cat] += sv
+                                        self._pending_sum += sv
+                                        stolen[cat] = 0.0
+                                self._stolen_sum = 0.0
+                            total = self._pending_sum
+                            if total > 0.0:
+                                if (
+                                    equeue
+                                    and equeue[0][0] <= engine._now + total
+                                ) or not try_jump(total, 1):
+                                    yield Timeout(engine, total)
+                                for cat, pv in pending.items():
+                                    if pv:
+                                        acct_times[cat] += pv
+                                        pending[cat] = 0.0
+                                self._pending_sum = 0.0
+                        continue
+                    hard_from = self._epoch_skip
                 n_visits += 1
                 page = page_base + page_col[i]
                 n_reads = read_col[i]
@@ -618,6 +697,8 @@ class Cpu:
           epochs on that).  Dirty bits are ORed per distinct page.
         """
         j = min(j, i + MAX_EPOCH_ITEMS)
+        self.epoch_attempted += 1
+        reason: Optional[str] = None
         engine = self.engine
         # Long epochs cross several flush quanta; those flushes can be
         # performed *inside* the step as clock jumps (_epoch_quanta),
@@ -686,6 +767,7 @@ class Cpu:
                 # every distinct page fits the TLB at once.
                 valid = chron_off[cap]
                 del chron_pages[cap:], chron_off[cap:]
+                reason = "tlb_cap"
             for k, p in enumerate(chron_pages):
                 g = page_base + p
                 if g in resident:
@@ -695,6 +777,12 @@ class Cpu:
                         continue
                 # This page would miss (or fault): the epoch ends
                 # strictly before its first occurrence.
+                st = table[g].state
+                reason = (
+                    "window_miss" if st is MEMORY
+                    else "fault_boundary" if st is PageState.ABSENT
+                    else "shared_dirty"
+                )
                 valid = chron_off[k]
                 del chron_pages[k:], chron_off[k:]
                 break
@@ -715,16 +803,27 @@ class Cpu:
                         if len(seen) >= cap:
                             # TLB-replay exactness bound, as above.
                             valid = off
+                            reason = "tlb_cap"
                             break
                         seen_add(p)
                         chron_pages.append(p)
                         chron_off.append(off)
                         homes.append(entry.node)
                         continue
+                st = table[g].state
+                reason = (
+                    "window_miss" if st is MEMORY
+                    else "fault_boundary" if st is PageState.ABSENT
+                    else "shared_dirty"
+                )
                 valid = off
                 break
         if valid < MIN_EPOCH_ITEMS:
             self._epoch_skip = i + valid + 1
+            # No break within a horizon-clamped span means the queue's
+            # head (or the run limit) cut the candidate short.
+            r = reason if reason is not None else "contended_pipe"
+            self.epoch_rejects[r] = self.epoch_rejects.get(r, 0) + 1
             return 0
         # -- dry-run TLB replay on a shadow copy: which first
         # occurrences take the miss branch (and charge a walk)?
@@ -885,6 +984,293 @@ class Cpu:
             self._pending_sum = pending_sum
         self.epoch_items += c
         self.epoch_batches += 1
+        self.epoch_accepted += 1
+        return c
+
+    def _contended_step(
+        self, plan: Any, i: int, j: int, page_base: int
+    ) -> int:
+        """Execute trace items ``[i, j)`` — *including* resident-window
+        misses — as one fused batched step.  Returns the number of items
+        consumed (0 when the very first item needs the evented path;
+        ``self._epoch_skip`` then holds the next index worth attempting).
+
+        Where :meth:`_epoch_step` only accepts runs it can prove are pure
+        window hits, this step follows the per-item arm of
+        :meth:`run_epochs` item by item and *commits* each one whose
+        interactions all collapse into clock jumps.  The protocol per
+        item is snapshot → revalidate → execute:
+
+        * **snapshot/revalidate** — classify the item against live state
+          without mutating anything: TLB entry (``entries.get``), page-
+          table state on a TLB miss, window residency.  A page that is
+          ABSENT (a real fault) or in motion on another processor
+          (INFLIGHT/SWAPPING/RING) stops the step *before* the item.
+        * **prove the jumps** — for a window miss, pre-compute the exact
+          ascending target chain the kernel would produce — pending
+          flush (with the stolen-time fold reproduced add by add), home
+          memory bus, mesh route, remote latency — and refuse the item
+          unless every queued event falls strictly after the final
+          target, the run limit holds, and every pipe on the chain is
+          idle: precisely the conditions under which ``Engine.try_jump``
+          / ``try_jump_transfer`` are guaranteed to succeed.
+        * **execute** — replay the kernel's mutations in kernel order
+          (TLB bookkeeping, window update, pending-time float chains
+          addition by addition) and issue the *real* jump calls, which
+          advance the clock, busy integrals, latency tallies, and event
+          counts exactly as the evented path would.
+
+        Because the whole step is yield-free, no other process can run
+        mid-step: validation cannot go stale, and stopping before a
+        blocked item leaves the machine in exactly the state the
+        per-item arm expects (it redoes the classification and takes the
+        evented path).  The step cannot run under the audit tick hook —
+        the hook fires inside the jumps and would observe counters that
+        are committed in bulk at step exit (the caller gates on this).
+        """
+        j = min(j, i + MAX_EPOCH_ITEMS)
+        self.epoch_attempted += 1
+        engine = self.engine
+        if engine._multi_dispatch:
+            self._epoch_skip = i + 1
+            self.epoch_rejects["contended_pipe"] = (
+                self.epoch_rejects.get("contended_pipe", 0) + 1
+            )
+            return 0
+        node = self.node
+        vm = self.vm
+        table = vm.table
+        tlb = vm.tlbs[node]
+        entries = tlb._entries
+        # First-item fault gate, ahead of the full local hoist below: on
+        # eviction-heavy traces most rejected attempts die immediately on
+        # a page that is absent or mid-flight, and the gate's
+        # classification is byte-for-byte the loop's own first-item arm.
+        g0 = page_base + plan.pages_list[i]
+        if g0 not in entries:
+            st0 = table[g0].state
+            if st0 is not PageState.MEMORY:
+                self._epoch_skip = i + 1
+                r = (
+                    "fault_boundary"
+                    if st0 is PageState.ABSENT
+                    else "shared_dirty"
+                )
+                self.epoch_rejects[r] = self.epoch_rejects.get(r, 0) + 1
+                return 0
+        equeue = engine._queue
+        limit = engine._limit
+        try_jump = engine.try_jump
+        vres = vm.resident
+        cap = tlb.n_entries
+        cache = self.cache
+        resident = cache._resident
+        move_res = resident.move_to_end
+        window = cache._window
+        cold_mb = cache._cold_miss_bytes
+        page_size = cache._page_size
+        pages_list = plan.pages_list
+        busy_list = plan.busy_list
+        write_list = plan.write_list
+        nacc_list = plan.naccess_list
+        pending = self._pending
+        stolen = self._stolen
+        acct_times = self.acct.times
+        mem_buses = self.mem_buses
+        network = self.network
+        net_route_cache = network._route_cache
+        net_link_rate = network._link_rate
+        tlb_miss = self.cfg.tlb_miss_pcycles
+        remote_latency = self.cfg.remote_latency_pcycles
+        MEMORY = PageState.MEMORY
+        ABSENT = PageState.ABSENT
+        # Working copies of every float chain the kernel threads through
+        # the per-item loop; written back once at step exit.  Nothing can
+        # observe the dicts mid-step (yield-free), so locals are exact.
+        psum = self._pending_sum
+        po = pending["other"]
+        ptlb = pending["tlb"]
+        ao = acct_times["other"]
+        atl = acct_times["tlb"]
+        stolen_rem = self._stolen_sum
+        now = engine._now
+        t_hits = t_misses = t_ev = 0
+        c_hits = c_misses = 0
+        n_remote = 0
+        reason = "contended_pipe"
+        off = i
+        while off < j:
+            g = page_base + pages_list[off]
+            h = entries.get(g)
+            ent = None
+            if h is None:
+                ent = table[g]
+                st = ent.state
+                if st is not MEMORY:
+                    # Stop *before* the item: nothing committed yet for
+                    # it, so the per-item arm redoes the classification
+                    # and takes the slow path.
+                    reason = (
+                        "fault_boundary" if st is ABSENT else "shared_dirty"
+                    )
+                    break
+                home = ent.node
+            else:
+                home = h
+            v = busy_list[off]
+            wr = write_list[off]
+            if g in resident:
+                mb = 0
+            else:
+                na = nacc_list[off]
+                mb = max(cold_mb, min(page_size, na * BLOCK_BYTES))
+                mb = min(mb, page_size)
+                if mb:
+                    # Prove the whole jump chain before touching state.
+                    # Flush total: the psum chain after this item's adds
+                    # plus the stolen fold, reproduced add by add.
+                    tot = psum
+                    if h is None:
+                        tot = tot + tlb_miss
+                    tot = tot + v
+                    if stolen_rem:
+                        for sv in stolen.values():
+                            if sv:
+                                tot = tot + sv
+                    t_last = now + tot if tot > 0.0 else now
+                    bus = mem_buses[home]
+                    srv = bus._server
+                    if srv.users or srv.queue:
+                        break
+                    t_last = t_last + (bus.overhead + mb / bus.rate)
+                    if home != node:
+                        rent = net_route_cache.get((home, node))
+                        if rent is None:
+                            rent = network._route_entry(home, node)
+                        links, fixed, hops = rent
+                        blocked = False
+                        for res in links:
+                            if res.users or res.queue:
+                                blocked = True
+                                break
+                        if blocked:
+                            break
+                        t_last = t_last + (
+                            fixed + mb / net_link_rate if hops else fixed
+                        )
+                        t_last = t_last + remote_latency
+                    if (equeue and equeue[0][0] <= t_last) or t_last > limit:
+                        break
+            # -- commit, in kernel order: fast_access ...
+            if h is None:
+                t_misses += 1
+                ptlb += tlb_miss
+                psum += tlb_miss
+                if len(entries) >= cap:
+                    del entries[next(iter(entries))]
+                    t_ev += 1
+                entries[g] = home
+                vres[home].touch(g)
+                if wr:
+                    ent.dirty = True
+            else:
+                del entries[g]
+                entries[g] = home
+                t_hits += 1
+                vres[home].touch(g)
+                if wr:
+                    table[g].dirty = True
+            # ... then cache.visit ...
+            if mb == 0 and g in resident:
+                move_res(g)
+                c_hits += 1
+                po += v
+                psum += v
+            else:
+                c_misses += 1
+                resident[g] = None
+                while len(resident) > window:
+                    resident.popitem(last=False)
+                po += v
+                psum += v
+                if mb:
+                    # ... flush (fold + jump + drain) ...
+                    if stolen_rem:
+                        for cat, sv in stolen.items():
+                            if sv:
+                                if cat == "other":
+                                    po += sv
+                                elif cat == "tlb":
+                                    ptlb += sv
+                                else:
+                                    pending[cat] += sv
+                                psum += sv
+                                stolen[cat] = 0.0
+                        self._stolen_sum = 0.0
+                        stolen_rem = 0.0
+                    if psum > 0.0:
+                        if not try_jump(psum, 1):
+                            raise RuntimeError(
+                                "contended epoch: proven flush jump refused"
+                            )
+                        for cat, pv in pending.items():
+                            if pv and cat != "other" and cat != "tlb":
+                                acct_times[cat] += pv
+                                pending[cat] = 0.0
+                        if ptlb:
+                            atl += ptlb
+                            ptlb = 0.0
+                        if po:
+                            ao += po
+                            po = 0.0
+                        psum = 0.0
+                    # ... and the proven transfer chain, via the real
+                    # jump calls (side effects identical to the evented
+                    # path: busy integrals, byte counts, latency tally,
+                    # event ids).
+                    t0 = engine._now
+                    if not bus.try_jump_transfer(mb):
+                        raise RuntimeError(
+                            "contended epoch: proven bus jump refused"
+                        )
+                    if home != node:
+                        if not network.try_jump_transfer(home, node, mb):
+                            raise RuntimeError(
+                                "contended epoch: proven mesh jump refused"
+                            )
+                        if not try_jump(remote_latency, 1):
+                            raise RuntimeError(
+                                "contended epoch: proven latency jump refused"
+                            )
+                        n_remote += 1
+                    now = engine._now
+                    ao += now - t0
+            off += 1
+            if psum >= FLUSH_QUANTUM_PCYCLES:
+                # Quantum crossed on this item: consume through it and
+                # let the caller's outer flush run, exactly where the
+                # kernel would flush.
+                break
+        c = off - i
+        pending["other"] = po
+        pending["tlb"] = ptlb
+        self._pending_sum = psum
+        acct_times["other"] = ao
+        acct_times["tlb"] = atl
+        tlb._hits += t_hits
+        tlb._misses += t_misses
+        tlb._evictions += t_ev
+        cache._hits += c_hits
+        cache._misses += c_misses
+        if n_remote:
+            self.stats.add("remote_fetches", n_remote)
+        if c == 0:
+            self._epoch_skip = i + 1
+            self.epoch_rejects[reason] = self.epoch_rejects.get(reason, 0) + 1
+            return 0
+        self.epoch_items += c
+        self.epoch_batches += 1
+        self.epoch_accepted += 1
         return c
 
     def _epoch_quanta(

@@ -61,6 +61,11 @@ class SwapManager:
         self.metrics = metrics
         self.ring = ring
         self.interfaces = interfaces or {}
+        #: attempt uncontended clock jumps on the swap-out crossings
+        #: (set by the machine when epoch execution is active; each jump
+        #: is exactly equivalent to the evented sequence it replaces, so
+        #: trajectories are bit-identical either way)
+        self.jump_transfers = False
 
     @property
     def has_ring(self) -> bool:
@@ -117,6 +122,12 @@ class SwapManager:
         ent_back = net._route_cache.get((io_node, node))
         if ent_back is None:
             ent_back = net._route_entry(io_node, node)
+        # Every crossing below first attempts an uncontended clock jump
+        # (try_jump_transfer: same clock adds, busy integrals, byte and
+        # event counts as the evented sequence) and falls back to the
+        # inlined request/timeout/release path when the pipe or the
+        # window is contended.
+        jumps = self.jump_transfers
         while True:
             if entry.reclaim_requested:
                 self.metrics.counts.add("swap_cancels")
@@ -126,29 +137,7 @@ class SwapManager:
             # crossings are BandwidthPipe.transfer, inlined (identical
             # events without a delegate generator — see cpu.py).
             bus = self.mem_buses[node]
-            req = bus._server.request(0)
-            yield req
-            try:
-                yield Timeout(engine, bus.overhead + psize / bus.rate)
-                bus.bytes_transferred += psize
-            finally:
-                bus._server.release(req)
-            if io_node != node:
-                t0n = engine._now
-                links, fixed, _h = ent_out
-                requests = []
-                try:
-                    for res in links:
-                        nreq = res.request(0)
-                        requests.append(nreq)
-                        yield nreq
-                    yield Timeout(engine, fixed + psize / net._link_rate)
-                finally:
-                    for res, nreq in zip(links, requests):
-                        res.release(nreq)
-                net.bytes_sent += psize
-                net.latency.record(engine._now - t0n)
-                bus = self.mem_buses[io_node]
+            if not (jumps and bus.try_jump_transfer(psize)):
                 req = bus._server.request(0)
                 yield req
                 try:
@@ -156,16 +145,67 @@ class SwapManager:
                     bus.bytes_transferred += psize
                 finally:
                     bus._server.release(req)
+            if io_node != node:
+                if not (jumps and net.try_jump_transfer(node, io_node, psize)):
+                    t0n = engine._now
+                    links, fixed, _h = ent_out
+                    requests = []
+                    try:
+                        for res in links:
+                            nreq = res.request(0)
+                            requests.append(nreq)
+                            yield nreq
+                        yield Timeout(engine, fixed + psize / net._link_rate)
+                    finally:
+                        for res, nreq in zip(links, requests):
+                            res.release(nreq)
+                    net.bytes_sent += psize
+                    net.latency.record(engine._now - t0n)
+                bus = self.mem_buses[io_node]
+                if not (jumps and bus.try_jump_transfer(psize)):
+                    req = bus._server.request(0)
+                    yield req
+                    try:
+                        yield Timeout(engine, bus.overhead + psize / bus.rate)
+                        bus.bytes_transferred += psize
+                    finally:
+                        bus._server.release(req)
             bus = self.io_buses[io_node]
-            req = bus._server.request(0)
-            yield req
-            try:
-                yield Timeout(engine, bus.overhead + psize / bus.rate)
-                bus.bytes_transferred += psize
-            finally:
-                bus._server.release(req)
+            if not (jumps and bus.try_jump_transfer(psize)):
+                req = bus._server.request(0)
+                yield req
+                try:
+                    yield Timeout(engine, bus.overhead + psize / bus.rate)
+                    bus.bytes_transferred += psize
+                finally:
+                    bus._server.release(req)
             if ctrl.try_accept_write(page):
                 # ACK back to the swapping node.
+                if not (jumps and net.try_jump_transfer(io_node, node, csize)):
+                    t0n = engine._now
+                    links, fixed, _h = ent_back
+                    if not links:
+                        yield Timeout(engine, fixed)
+                    else:
+                        requests = []
+                        try:
+                            for res in links:
+                                nreq = res.request(0)
+                                requests.append(nreq)
+                                yield nreq
+                            yield Timeout(
+                                engine, fixed + csize / net._link_rate
+                            )
+                        finally:
+                            for res, nreq in zip(links, requests):
+                                res.release(nreq)
+                    net.bytes_sent += csize
+                    net.latency.record(engine._now - t0n)
+                break
+            # NACK; wait in the controller's FIFO for the OK, then re-send.
+            # A reclaim arriving during the wait cancels the swap-out.
+            self.metrics.counts.add("swap_nacks")
+            if not (jumps and net.try_jump_transfer(io_node, node, csize)):
                 t0n = engine._now
                 links, fixed, _h = ent_back
                 if not links:
@@ -183,27 +223,6 @@ class SwapManager:
                             res.release(nreq)
                 net.bytes_sent += csize
                 net.latency.record(engine._now - t0n)
-                break
-            # NACK; wait in the controller's FIFO for the OK, then re-send.
-            # A reclaim arriving during the wait cancels the swap-out.
-            self.metrics.counts.add("swap_nacks")
-            t0n = engine._now
-            links, fixed, _h = ent_back
-            if not links:
-                yield Timeout(engine, fixed)
-            else:
-                requests = []
-                try:
-                    for res in links:
-                        nreq = res.request(0)
-                        requests.append(nreq)
-                        yield nreq
-                    yield Timeout(engine, fixed + csize / net._link_rate)
-                finally:
-                    for res, nreq in zip(links, requests):
-                        res.release(nreq)
-            net.bytes_sent += csize
-            net.latency.record(engine._now - t0n)
             t_wait = self.engine.now
             ok = ctrl.wait_for_room()
             reclaim = entry.reclaim_event()
@@ -213,23 +232,24 @@ class SwapManager:
                 self.metrics.counts.add("swap_cancels")
                 return "cancelled"
             # the OK message
-            t0n = engine._now
-            links, fixed, _h = ent_back
-            if not links:
-                yield Timeout(engine, fixed)
-            else:
-                requests = []
-                try:
-                    for res in links:
-                        nreq = res.request(0)
-                        requests.append(nreq)
-                        yield nreq
-                    yield Timeout(engine, fixed + csize / net._link_rate)
-                finally:
-                    for res, nreq in zip(links, requests):
-                        res.release(nreq)
-            net.bytes_sent += csize
-            net.latency.record(engine._now - t0n)
+            if not (jumps and net.try_jump_transfer(io_node, node, csize)):
+                t0n = engine._now
+                links, fixed, _h = ent_back
+                if not links:
+                    yield Timeout(engine, fixed)
+                else:
+                    requests = []
+                    try:
+                        for res in links:
+                            nreq = res.request(0)
+                            requests.append(nreq)
+                            yield nreq
+                        yield Timeout(engine, fixed + csize / net._link_rate)
+                    finally:
+                        for res, nreq in zip(links, requests):
+                            res.release(nreq)
+                net.bytes_sent += csize
+                net.latency.record(engine._now - t0n)
             wait_total += self.engine.now - t_wait
         self.metrics.swapout_wait.record(wait_total)
         entry.to_absent()
@@ -275,17 +295,22 @@ class SwapManager:
             yield slot
         self.metrics.swapout_wait.record(self.engine.now - t_wait)
         # Page crosses the local memory and I/O buses to the NWC interface
-        # (BandwidthPipe.transfer, inlined — identical events).
+        # (BandwidthPipe.transfer, inlined — identical events; jump-first
+        # like the standard path above).
         engine = self.engine
+        jumps = self.jump_transfers
         for bus in (self.mem_buses[node], self.io_buses[node]):
-            req = bus._server.request(0)
-            yield req
-            try:
-                yield Timeout(engine, bus.overhead + psize / bus.rate)
-                bus.bytes_transferred += psize
-            finally:
-                bus._server.release(req)
-        yield Timeout(engine, channel.insertion_time())
+            if not (jumps and bus.try_jump_transfer(psize)):
+                req = bus._server.request(0)
+                yield req
+                try:
+                    yield Timeout(engine, bus.overhead + psize / bus.rate)
+                    bus.bytes_transferred += psize
+                finally:
+                    bus._server.release(req)
+        ins = channel.insertion_time()
+        if not (jumps and engine.try_jump(ins, 1)):
+            yield Timeout(engine, ins)
         if not channel.available():
             # The channel failed or dropped while the page was crossing
             # the buses: give the slot back and degrade.

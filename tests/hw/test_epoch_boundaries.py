@@ -22,6 +22,11 @@ from tests.conftest import SyntheticWorkload
 def _snapshot(res):
     d = dict(vars(res))
     d.pop("metrics", None)  # carries wall-clock noise
+    # epoch_* extras profile the execution strategy itself (absent with
+    # epochs off); they are outside the bit-identity contract.
+    d["extras"] = {
+        k: v for k, v in res.extras.items() if not k.startswith("epoch_")
+    }
     return repr(d)
 
 
@@ -44,6 +49,20 @@ def _epoch_items(machine):
     return sum(cpu.epoch_items for cpu in machine.cpus)
 
 
+def _assert_profile_consistent(machine):
+    """The rejection profiler's accounting invariant: every attempt is
+    either accepted or rejected with exactly one taxonomy reason."""
+    from repro.hw.cpu import EPOCH_REJECT_REASONS
+
+    attempted = sum(c.epoch_attempted for c in machine.cpus)
+    accepted = sum(c.epoch_accepted for c in machine.cpus)
+    rejected = sum(sum(c.epoch_rejects.values()) for c in machine.cpus)
+    assert attempted == accepted + rejected
+    for cpu in machine.cpus:
+        assert set(cpu.epoch_rejects) <= set(EPOCH_REJECT_REASONS)
+    return attempted, accepted
+
+
 # ------------------------------------------------------------- engagement
 def test_epoch_friendly_run_engages_epochs():
     """In-window private sweeps are the regime epochs exist for."""
@@ -57,23 +76,30 @@ def test_epoch_friendly_run_engages_epochs():
 
 
 # ------------------------------------------- adversarial: resident miss
-def test_out_of_window_reuse_defeats_epochs():
+def test_out_of_window_reuse_is_contended_or_identical():
     """8 pages/CPU against a 4-page window: every revisit's reuse
-    distance exceeds the window, so every item is a static boundary and
-    no run is ever long enough to attempt."""
+    distance exceeds the window, so the fast validator never finds a
+    run.  The contended step *does* attempt (barrier-free traces have
+    long hard runs) but every item is a window miss whose fetch chain
+    must be proven jump-safe, and with four processors advancing in
+    lockstep the event queue always holds a peer inside the horizon —
+    so attempts are rejected, per-item dispatch handles the misses, and
+    the result stays bit-identical (asserted in ``_run_both``)."""
     _, on = _run_both(
         n_pages=32, sweeps=8, accesses=1, write=False, think=10.0,
         use_barriers=False,
     )
-    assert _epoch_items(on) == 0
+    attempted, _ = _assert_profile_consistent(on)
+    assert attempted > 0
 
 
-def test_tlb_cap_defeats_epochs():
+def test_tlb_overflow_commits_via_contended_step():
     """Statically epoch-friendly (reuse 11 < window 16), but 12 distinct
-    pages per CPU overflow the 8-entry TLB: live validation truncates
-    every candidate run at the 9th distinct page (8 items, below
-    ``MIN_EPOCH_ITEMS``), so epochs never commit — and may not, because
-    batching past the cap would reorder TLB misses and shootdowns."""
+    pages per CPU overflow the 8-entry TLB.  The fast validator must
+    truncate at the cap (it proves TLB behaviour wholesale), but the
+    contended step replays each TLB miss, insertion, and eviction in
+    exact kernel order, so it batches straight across the overflow —
+    and the result stays bit-identical either way."""
     _, on = _run_both(
         cfg_kwargs=dict(l2_resident_pages=16, memory_per_node=64 * 1024),
         n_pages=48, sweeps=16, accesses=2, write=False, think=10.0,
@@ -81,7 +107,8 @@ def test_tlb_cap_defeats_epochs():
     )
     for cpu in on.cpus:
         assert on.vm.tlbs[cpu.node].n_entries == 8
-    assert _epoch_items(on) == 0
+    assert _epoch_items(on) > 0
+    _assert_profile_consistent(on)
 
 
 def test_tlb_cap_truncates_each_epoch():
@@ -130,6 +157,71 @@ def test_ring_resident_pages_defeat_validation():
     # in _run_both) is the load-bearing assertion; engagement is
     # incidental and typically near zero.
     assert off.result.exec_time == on.result.exec_time
+
+
+# ------------------------------------- adversarial: eviction-dominated
+def test_eviction_dominated_writes_stay_identical():
+    """Dirty pages far beyond the resident window: every revisit is a
+    cache miss and most faults evict a dirty victim, so the contended
+    step's fetch-chain proof runs against live swap-out traffic on the
+    buses.  Identity against the evented kernel is the contract; the
+    profiler must account for every attempt."""
+    _, on = _run_both(
+        cfg_kwargs=dict(l2_resident_pages=2),
+        n_pages=32, sweeps=6, accesses=2, write=True, think=50.0,
+        use_barriers=False,
+    )
+    attempted, _ = _assert_profile_consistent(on)
+    assert attempted > 0
+
+
+def test_victim_race_across_processors_stays_identical():
+    """All four processors write the same pages against a frame pool
+    too small to hold them: a page one CPU is batching over can be
+    chosen as another CPU's eviction victim mid-flight.  The live
+    revalidation (state must be MEMORY at commit time) is what keeps
+    the batched path from racing the reclaim."""
+    _, on = _run_both(
+        cfg_kwargs=dict(memory_per_node=16 * 1024),  # 4 frames/node
+        n_pages=16, sweeps=6, accesses=2, write=True, shared=True,
+        think=10.0, use_barriers=False,
+    )
+    _assert_profile_consistent(on)
+
+
+def test_writeback_during_degraded_ring_stays_identical():
+    """NWCache run with half the optical channels failing mid-run:
+    writebacks started on the ring degrade to the standard interconnect
+    path while epochs are live, so the jump guards in the swap path must
+    stay equivalent across the failover."""
+    _, on = _run_both(
+        system="nwcache",
+        cfg_kwargs=dict(faults="channel_failures=0;1@5e5"),
+        n_pages=48, sweeps=4, accesses=2, write=True, think=10.0,
+    )
+    assert on.result.extras.get("fault_events", 0) >= 0
+    _assert_profile_consistent(on)
+
+
+def test_frame_pool_exhaustion_mid_run_stays_identical():
+    """4 frames per node against 12 dirty pages per CPU: the free-frame
+    reserve empties mid-run and faults stall on swap-outs.  Epoch
+    attempts must reject at the fault boundaries (pages ABSENT or
+    in-flight) without perturbing the stall timing."""
+    _, on = _run_both(
+        cfg_kwargs=dict(memory_per_node=16 * 1024),  # 4 frames/node
+        n_pages=48, sweeps=4, accesses=1, write=True, think=10.0,
+        use_barriers=False,
+    )
+    attempted, accepted = _assert_profile_consistent(on)
+    rejects = {}
+    for cpu in on.cpus:
+        for k, v in cpu.epoch_rejects.items():
+            rejects[k] = rejects.get(k, 0) + v
+    # With the pool exhausted, at least some attempts die at a page
+    # that is absent or mid-swap.
+    assert attempted > accepted
+    assert sum(rejects.values()) > 0
 
 
 # ---------------------------------------------------- plan-level checks

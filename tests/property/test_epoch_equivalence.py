@@ -20,6 +20,12 @@ from repro.core.runner import run_experiment
 def _snapshot(res):
     d = dict(vars(res))
     d.pop("metrics", None)  # wall-clock noise lives there
+    # The epoch-rejection profile describes the *execution strategy*,
+    # not the simulated machine: present only when epochs ran, and
+    # excluded from the bit-identity contract.
+    d["extras"] = {
+        k: v for k, v in res.extras.items() if not k.startswith("epoch_")
+    }
     return repr(d)
 
 
@@ -41,6 +47,36 @@ def test_epochs_on_off_bit_identical(app, system, scale, seed, faults):
         # Transient disk faults land at event boundaries mid-run; the
         # epoch validator must re-prove its runs around the damage.
         kwargs["faults"] = "disk_transient_rate=0.01"
+    base = run_experiment(app, epoch_exec=False, **kwargs)
+    fast = run_experiment(app, epoch_exec=True, **kwargs)
+    assert _snapshot(base) == _snapshot(fast)
+
+
+@given(
+    app=st.sampled_from(["zipf", "ycsb-a", "radix"]),
+    system=st.sampled_from(["standard", "nwcache"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    window=st.sampled_from([2, 4]),
+    faults=st.sampled_from(
+        [None, "disk_transient_rate=0.02", "channel_failures=0;1@5e5"]
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_eviction_dominated_epochs_bit_identical(
+    app, system, seed, window, faults
+):
+    """The contended regime: a resident window far smaller than the
+    working set makes nearly every visit an eviction-and-fetch, so the
+    batched path spends the run re-proving jump chains against live
+    swap traffic — with disk faults or failed ring channels landing
+    mid-epoch when the fault schedule says so."""
+    kwargs = dict(
+        system=system,
+        data_scale=0.05,
+        cfg=SimConfig(seed=seed, l2_resident_pages=window),
+    )
+    if faults:
+        kwargs["faults"] = faults
     base = run_experiment(app, epoch_exec=False, **kwargs)
     fast = run_experiment(app, epoch_exec=True, **kwargs)
     assert _snapshot(base) == _snapshot(fast)
