@@ -59,6 +59,7 @@ from repro.apps.base import (
     visit,
     workload_stream,
 )
+from repro.ioutil import atomic_write_text
 from repro.sim.rng import RngRegistry
 
 #: barrier key whose release marks the warmup -> measured boundary
@@ -634,18 +635,20 @@ def save_request_schedule(
     """
     rng = RngRegistry(seed)
     written = 0
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(
-            f"# request schedule: app={workload.name} n_nodes={n_nodes} seed={seed}\n"
-            "# node page reads writes think_pcycles\n"
-        )
-        for node, stream in enumerate(workload.streams(n_nodes, 0, rng)):
-            for item in stream:
-                if item[0] != "visit":
-                    continue
-                _, page, reads, writes, think = item
-                fh.write(f"{node} {page} {reads} {writes} {think!r}\n")
-                written += 1
+    lines = [
+        f"# request schedule: app={workload.name} n_nodes={n_nodes} seed={seed}\n"
+        "# node page reads writes think_pcycles\n"
+    ]
+    for node, stream in enumerate(workload.streams(n_nodes, 0, rng)):
+        for item in stream:
+            if item[0] != "visit":
+                continue
+            _, page, reads, writes, think = item
+            lines.append(f"{node} {page} {reads} {writes} {think!r}\n")
+            written += 1
+    # single atomic publish: a reader (or a survivor of a mid-write
+    # kill) never sees a truncated schedule
+    atomic_write_text(path, "".join(lines))
     return written
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, List
 
 from repro.apps.base import Item, Stream, Workload
+from repro.ioutil import atomic_write_text
 from repro.sim.rng import RngRegistry
 
 
@@ -52,7 +53,7 @@ def record_trace(
         "n_nodes": n_nodes,
         "streams": [[list(item) for item in s] for s in streams],
     }
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
     return sum(len(s) for s in streams)
 
 

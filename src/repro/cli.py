@@ -14,14 +14,23 @@ Commands
     Regenerate paper figure N (3 or 4).
 ``batch``
     Run a grid of experiments through the parallel batch runner.
+``service submit/work/status DIR``
+    The durable sweep service: append cells to a crash-safe journal,
+    run leased workers over it (any number, any hosts sharing the
+    directory), inspect per-cell state.  See ``docs/robustness.md``.
+``serve DIR``
+    Expose a sweep directory over HTTP: submit, status, per-cell
+    results, and streaming progress.
 ``trace compile APP``
     Compile an app's reference streams into the on-disk trace cache.
 
 ``run`` accepts ``--profile [PATH]`` (cProfile the run for hot-path
 triage), ``--no-compiled-traces`` (use live driver generators; the
-compiled trace path is trajectory-neutral, so results are identical)
-and ``--no-epochs`` (disable vectorized epoch execution of compiled
-traces; likewise trajectory-neutral).
+compiled trace path is trajectory-neutral, so results are identical),
+``--no-epochs`` (disable vectorized epoch execution of compiled
+traces; likewise trajectory-neutral), and ``--checkpoint-every PCYCLES``
+(record verifiable checkpoints so an interrupted run resumes with a
+bit-identity proof; see :mod:`repro.service.checkpoint`).
 
 ``run`` and ``batch`` accept ``--faults SPEC``: a fault-injection plan
 such as ``disk_transient_rate=0.01,channel_failures=0@2e6`` (see
@@ -216,6 +225,10 @@ def _run_once(args: argparse.Namespace) -> int:
     epochs = False if args.no_epochs else None
     app_name = _resolve_app(args)
     params = _openloop_params(args, app_name)
+    if args.checkpoint_every is not None and args.report:
+        print("--checkpoint-every and --report are mutually exclusive "
+              "(the report needs direct machine access)", file=sys.stderr)
+        raise SystemExit(2)
     if args.report:
         from repro.core.inspect import machine_report
         from repro.core.machine import Machine
@@ -239,6 +252,23 @@ def _run_once(args: argparse.Namespace) -> int:
         if fault_table:
             print()
             print(fault_table)
+    elif args.checkpoint_every is not None:
+        from repro.core.batch import ExperimentSpec
+        from repro.service.checkpoint import (
+            clear_checkpoint,
+            run_with_checkpoints,
+        )
+
+        spec = ExperimentSpec(
+            app_name, args.system, args.prefetch, data_scale=args.scale,
+            audit=args.audit, compiled_traces=compiled, faults=args.faults,
+            app_params=params,
+        )
+        path = args.checkpoint or f"{app_name}-{args.system}.ckpt"
+        res = run_with_checkpoints(spec, args.checkpoint_every, path)
+        # the run finished: its attestation has served its purpose
+        clear_checkpoint(path)
+        print(_summary(res))
     else:
         res = run_experiment(
             app_name, args.system, args.prefetch, data_scale=args.scale,
@@ -270,8 +300,9 @@ def _check_failures(results) -> None:
     if failed:
         for f in failed:
             print(f"FAILED {f.spec.app} {f.spec.system}/{f.spec.prefetch}: "
-                  f"{f.kind} after {f.attempts} attempt(s) ({f.error})",
-                  file=sys.stderr)
+                  f"{f.kind} after {f.attempts} attempt(s), "
+                  f"{f.retries} retr{'y' if f.retries == 1 else 'ies'} "
+                  f"({f.error})", file=sys.stderr)
         sys.exit(1)
 
 
@@ -400,7 +431,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if isinstance(res, FailedSpec):
             n_failed += 1
             print(f"{spec.app:6s} {spec.system:8s} {spec.prefetch:8s} "
-                  f"FAILED ({res.kind} after {res.attempts} attempt(s): "
+                  f"FAILED ({res.kind} after {res.attempts} attempt(s), "
+                  f"{res.retries} retr{'y' if res.retries == 1 else 'ies'}: "
                   f"{res.error})")
             continue
         print(f"{spec.app:6s} {spec.system:8s} {spec.prefetch:8s} "
@@ -420,6 +452,81 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if n_failed:
         print(f"{n_failed} cell(s) failed", file=sys.stderr)
         return 1
+    return 0
+
+
+def _service_progress(event: str, spec, key: str) -> None:
+    print(f"  {event:6s} {spec.app} {spec.system}/{spec.prefetch} "
+          f"[{key[:12]}]", file=sys.stderr)
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    from repro.service import SweepQueue
+
+    if args.service_command == "submit":
+        from repro.core.batch import grid_specs
+
+        queue = SweepQueue(args.dir, retry_budget=args.retry_budget)
+        apps = args.apps or APP_NAMES
+        systems = args.systems or ["standard", "nwcache"]
+        prefetchers = args.prefetchers or [args.prefetch]
+        specs = grid_specs(apps, systems, prefetchers, data_scale=args.scale,
+                           audit=args.audit, faults=args.faults)
+        keys = queue.submit(specs)
+        for spec, key in zip(specs, keys):
+            print(f"  {key[:16]} {spec.app} {spec.system}/{spec.prefetch}")
+        counts = queue.state().counts()
+        print(f"sweep {args.dir}: {len(keys)} cell(s) submitted "
+              f"({counts['pending']} pending, {counts['done']} done)")
+        return 0
+
+    if args.service_command == "work":
+        from repro.service import Worker
+
+        queue = SweepQueue(args.dir, lease_duration=args.lease_duration,
+                           retry_budget=args.retry_budget)
+        worker = Worker(
+            queue,
+            cache=_cache_arg(args),
+            checkpoint_every=args.checkpoint_every,
+            max_cells=args.max_cells,
+            progress=_service_progress,
+        )
+        worker.install_signal_handlers()
+        stats = worker.run()
+        print(f"worker {worker.worker_id}: {stats.executed} executed, "
+              f"{stats.cached} cached, {stats.failed} failed attempt(s)"
+              + (" — drained" if stats.drained else ""))
+        if not stats.drained:
+            _check_failures(queue.failed_specs())
+        return 0
+
+    # status
+    import json as _json
+
+    from repro.service.lease import asdict_state
+    from repro.service.server import summarize_status
+
+    state = asdict_state(SweepQueue(args.dir).state())
+    if args.json:
+        print(_json.dumps(state, indent=2))
+        return 0
+    print(summarize_status(state))
+    for key, cell in state["cells"].items():
+        err = f"  ({cell['last_error']})" if cell["last_error"] else ""
+        print(f"  {key[:16]} {cell['app']:8s} {cell['system']:8s} "
+              f"{cell['status']:7s} attempts={cell['attempts']} "
+              f"executed={cell['executed_runs']}{err}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    print(f"serving sweep {args.dir} on http://{args.host}:{args.port} "
+          "(SIGTERM/SIGINT for graceful shutdown)", file=sys.stderr)
+    serve(args.dir, host=args.host, port=args.port, cache=_cache_arg(args),
+          lease_duration=args.lease_duration, retry_budget=args.retry_budget)
     return 0
 
 
@@ -505,6 +612,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-injection plan, e.g. "
                         "'disk_transient_rate=0.01,channel_failures=0@2e6' "
                         "(default: the NWCACHE_FAULTS environment variable)")
+    p.add_argument("--checkpoint-every", type=float, default=None,
+                   metavar="PCYCLES",
+                   help="record verifiable checkpoints every PCYCLES of "
+                        "simulated time; an interrupted run resumes from "
+                        "its checkpoint file with a bit-identity proof")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="checkpoint file (default: <app>-<system>.ckpt in "
+                        "the working directory; removed on completion)")
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -556,6 +671,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_batch_opts(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "service",
+        help="durable sweep service: journaled work queue + leased workers",
+    )
+    ssub = p.add_subparsers(dest="service_command", required=True)
+    ps = ssub.add_parser(
+        "submit", help="append a grid of cells to a sweep journal"
+    )
+    ps.add_argument("dir", help="sweep directory (journal + checkpoints)")
+    ps.add_argument("--apps", nargs="*", choices=ALL_APP_NAMES)
+    ps.add_argument("--systems", nargs="*", choices=("standard", "nwcache"))
+    ps.add_argument("--prefetchers", nargs="*",
+                    choices=("optimal", "naive", "stream"))
+    ps.add_argument("--audit", action="store_true",
+                    help="run every cell with the invariant auditor enabled")
+    ps.add_argument("--faults", metavar="SPEC", default=None,
+                    help="fault-injection plan applied to every cell")
+    ps.add_argument("--retry-budget", type=int, default=3,
+                    help="attempts per cell before it is a terminal failure")
+    _add_common(ps)
+    ps.set_defaults(func=cmd_service)
+    pw = ssub.add_parser(
+        "work", help="run a leased worker over a sweep directory"
+    )
+    pw.add_argument("dir")
+    pw.add_argument("--lease-duration", type=float, default=60.0,
+                    help="seconds a claim is valid without a heartbeat")
+    pw.add_argument("--retry-budget", type=int, default=3)
+    pw.add_argument("--checkpoint-every", type=float, default=None,
+                    metavar="PCYCLES",
+                    help="checkpoint long cells at this simulated cadence")
+    pw.add_argument("--max-cells", type=int, default=None,
+                    help="stop after this many cells (default: run until "
+                         "the sweep settles)")
+    pw.add_argument("--no-cache", action="store_true",
+                    help="do not read or write the on-disk result cache "
+                         "(disables crash dedupe of completed cells)")
+    pw.set_defaults(func=cmd_service)
+    pt = ssub.add_parser("status", help="show a sweep's per-cell state")
+    pt.add_argument("dir")
+    pt.add_argument("--json", action="store_true",
+                    help="emit the full machine-readable state")
+    pt.set_defaults(func=cmd_service)
+
+    p = sub.add_parser(
+        "serve", help="expose a sweep queue over HTTP (submit/status/results)"
+    )
+    p.add_argument("dir")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--lease-duration", type=float, default=60.0)
+    p.add_argument("--retry-budget", type=int, default=3)
+    p.add_argument("--no-cache", action="store_true")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace", help="record / compile / replay workload traces"

@@ -33,6 +33,7 @@ results through :func:`raise_failures`.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -159,6 +160,11 @@ class FailedSpec:
     error: str
     attempts: int
 
+    @property
+    def retries(self) -> int:
+        """Re-attempts spent beyond the first try (``attempts - 1``)."""
+        return max(0, self.attempts - 1)
+
     def __bool__(self) -> bool:
         # Failed slots are falsy so ``isinstance``-free call sites can
         # filter with ``if res:`` — a RunResult is always truthy.
@@ -237,18 +243,38 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def batch_timeout() -> Optional[float]:
-    """Per-cell wall-clock deadline from ``NWCACHE_BATCH_TIMEOUT`` (s)."""
-    env = os.environ.get("NWCACHE_BATCH_TIMEOUT")
-    if not env:
-        return None
+def validate_timeout(value: Any, source: str = "timeout") -> float:
+    """A per-cell deadline must be a positive finite number of seconds.
+
+    Zero, negative, NaN/inf, and non-numeric values are configuration
+    mistakes, not requests to disable the deadline — disabling is
+    explicit (unset the environment variable, or pass ``None``) — so
+    every one of them raises a ``ValueError`` naming the offender.
+    """
     try:
-        t = float(env)
-    except ValueError:
+        t = float(value)
+    except (TypeError, ValueError):
         raise ValueError(
-            f"NWCACHE_BATCH_TIMEOUT must be a number of seconds, got {env!r}"
+            f"{source} must be a number of seconds, got {value!r}"
         ) from None
-    return t if t > 0 else None
+    if not math.isfinite(t) or t <= 0:
+        raise ValueError(
+            f"{source} must be a positive finite number of seconds, got "
+            f"{value!r}; unset it (or pass None) to disable the deadline"
+        )
+    return t
+
+
+def batch_timeout() -> Optional[float]:
+    """Per-cell wall-clock deadline from ``NWCACHE_BATCH_TIMEOUT`` (s).
+
+    Unset or empty disables the deadline; anything else must be a
+    positive finite number (see :func:`validate_timeout`).
+    """
+    env = os.environ.get("NWCACHE_BATCH_TIMEOUT")
+    if env is None or not env.strip():
+        return None
+    return validate_timeout(env, "NWCACHE_BATCH_TIMEOUT")
 
 
 @dataclass
@@ -410,12 +436,14 @@ def run_batch(
     timeout:
         Per-cell wall-clock deadline in seconds for parallel runs
         (default: the ``NWCACHE_BATCH_TIMEOUT`` environment variable;
-        unset means no deadline).  A worker past its deadline is
+        unset/empty means no deadline).  Must be positive and finite —
+        zero or negative values raise ``ValueError`` rather than
+        silently disabling the deadline.  A worker past its deadline is
         terminated and the attempt counts as a ``"timeout"`` failure.
     retries:
         How many times a failed cell is re-attempted before its slot
         becomes a :class:`FailedSpec` (default 1: every cell gets up to
-        two attempts).
+        two attempts).  Must be a non-negative integer.
 
     Returns
     -------
@@ -428,6 +456,12 @@ def run_batch(
     store = resolve_cache(cache)
     if timeout is None:
         timeout = batch_timeout()
+    else:
+        timeout = validate_timeout(timeout, "timeout")
+    if not isinstance(retries, int) or isinstance(retries, bool) or retries < 0:
+        raise ValueError(
+            f"retries must be a non-negative integer, got {retries!r}"
+        )
     results: List[Optional[BatchResult]] = [None] * len(specs)
 
     misses: List[_Cell] = []

@@ -35,13 +35,13 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.config import SimConfig
 from repro.core.machine import RunResult
+from repro.ioutil import atomic_write_bytes
 
 #: Bump when a simulator change alters results for identical inputs.
 #: v2: audit fields on SimConfig; order-stable canonicalization of
@@ -71,18 +71,9 @@ def write_envelope(path: Path, magic: str, version: int, obj: Any) -> None:
     """
     blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     payload = (magic, version, hashlib.sha256(blob).hexdigest(), blob)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write_bytes(
+        path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
 
 
 def read_envelope(path: Path, magic: str, version: int) -> Any:

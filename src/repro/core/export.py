@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterable, List
 from repro.config import SimConfig
 from repro.core.machine import RunResult
 from repro.hw.accounting import TimeAccount
+from repro.ioutil import atomic_write_text
 from repro.metrics import Metrics
 from repro.sim import Tally
 
@@ -170,7 +171,7 @@ def result_from_full_dict(d: Dict[str, Any]) -> RunResult:
 def save_full_results(path: "Path | str", results: Iterable[RunResult]) -> int:
     """Write losslessly reloadable results; returns how many were written."""
     payload = [result_to_full_dict(r) for r in results]
-    Path(path).write_text(json.dumps(payload, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
     return len(payload)
 
 
@@ -185,7 +186,7 @@ def load_full_results(path: "Path | str") -> List[RunResult]:
 def save_results(path: "Path | str", results: Iterable[RunResult]) -> int:
     """Write results to a JSON file; returns how many were written."""
     payload: List[Dict[str, Any]] = [result_to_dict(r) for r in results]
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(payload)
 
 

@@ -15,8 +15,9 @@ measurements the paper's tables report.
 from __future__ import annotations
 
 import gc
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.apps.base import Workload
 from repro.config import SimConfig
@@ -272,8 +273,32 @@ class Machine:
 
         return get_trace(app, self.cfg.n_nodes, self.cfg.seed)
 
-    def run(self, app: Workload, until: Optional[float] = None) -> RunResult:
-        """Execute ``app`` to completion and collect results."""
+    def run(
+        self,
+        app: Workload,
+        until: Optional[float] = None,
+        checkpoint_every: Optional[float] = None,
+        on_checkpoint: Optional[Any] = None,
+    ) -> RunResult:
+        """Execute ``app`` to completion and collect results.
+
+        With ``checkpoint_every`` set, the drain is sliced into bounded
+        ``engine.run(until=k * checkpoint_every)`` segments and
+        ``on_checkpoint(self)`` fires between events at each boundary
+        (simulated pcycles, never wall-clock, so slicing is identical on
+        every host).  Bounded drains are trajectory-neutral — ``try_jump``
+        refuses to leap past a limit and the evented fallback is
+        bit-identical — so a sliced run produces exactly the results of
+        an unsliced one; :mod:`repro.service.checkpoint` builds its
+        resume-verification protocol on this hook.
+        """
+        if checkpoint_every is not None:
+            checkpoint_every = float(checkpoint_every)
+            if not math.isfinite(checkpoint_every) or checkpoint_every <= 0:
+                raise ValueError(
+                    f"checkpoint_every must be a positive finite number of "
+                    f"pcycles, got {checkpoint_every!r}"
+                )
         if app.page_size != self.cfg.page_size:
             raise ValueError(
                 f"app page size {app.page_size} != machine {self.cfg.page_size}"
@@ -333,7 +358,10 @@ class Machine:
         if gc_was_enabled:
             gc.disable()
         try:
-            self.engine.run(until=until)
+            if checkpoint_every is None:
+                self.engine.run(until=until)
+            else:
+                self._run_sliced(checkpoint_every, on_checkpoint, until)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -350,6 +378,48 @@ class Machine:
         if self.auditor is not None:
             self.auditor.check_all()
         return self._collect(app)
+
+    def _run_sliced(
+        self,
+        every: float,
+        on_checkpoint: Optional[Any],
+        until: Optional[float],
+    ) -> None:
+        """Drain the engine in ``every``-pcycle slices with checkpoints.
+
+        The slicing rule is a pure function of the trajectory (boundary
+        ``k*every`` is visited iff an event falls at or before it, empty
+        slices are skipped by jumping the boundary to the next multiple
+        of ``every`` covering the next event), so a replayed run visits
+        exactly the same boundaries in the same order — the invariant
+        the checkpoint-verification protocol depends on.  A checkpoint
+        only fires when events remain: the final state is attested by
+        the result itself.
+        """
+        inf = float("inf")
+        boundary = every
+        while True:
+            nxt = self.engine.peek()
+            if nxt == inf or (until is not None and nxt > until):
+                break
+            if nxt > boundary:
+                # skip empty slices (uncontended clock jumps leave long
+                # event gaps); ceil can land one multiple short under
+                # float division, hence the corrective loop
+                boundary = math.ceil(nxt / every) * every
+                while boundary < nxt:
+                    boundary += every
+            t = boundary if until is None else min(boundary, until)
+            self.engine.run(until=t)
+            if until is not None and t >= until:
+                return
+            if on_checkpoint is not None and self.engine.peek() != inf:
+                on_checkpoint(self)
+            boundary += every
+        if until is not None:
+            # match unsliced semantics: the clock advances exactly to
+            # ``until`` even when no event falls on it
+            self.engine.run(until=until)
 
     def _install_phase_marks(self, app: Workload) -> None:
         """Register the app's phase-mark barriers as metric observers.

@@ -179,8 +179,38 @@ def test_batch_timeout_env(monkeypatch):
     assert batch_timeout() is None
     monkeypatch.setenv("NWCACHE_BATCH_TIMEOUT", "12.5")
     assert batch_timeout() == 12.5
-    monkeypatch.setenv("NWCACHE_BATCH_TIMEOUT", "0")
+    # empty/whitespace means "unset": the deadline is simply off
+    monkeypatch.setenv("NWCACHE_BATCH_TIMEOUT", "  ")
     assert batch_timeout() is None
+
+
+@pytest.mark.parametrize("bad", ["0", "-3", "nan", "inf", "5 minutes", "x"])
+def test_batch_timeout_env_rejects_non_deadlines(monkeypatch, bad):
+    # Zero, negative, non-finite, and non-numeric values are config
+    # mistakes, not requests to disable the deadline; each raises with
+    # the variable named so the sweep fails loudly up front.
+    monkeypatch.setenv("NWCACHE_BATCH_TIMEOUT", bad)
+    with pytest.raises(ValueError, match="NWCACHE_BATCH_TIMEOUT"):
+        batch_timeout()
+
+
+@pytest.mark.parametrize("bad", [0, -1.5, float("nan"), float("inf"), "x"])
+def test_run_batch_rejects_bad_timeout(bad):
+    with pytest.raises(ValueError, match="timeout"):
+        run_batch([_spec()], jobs=2, cache=False, timeout=bad)
+
+
+@pytest.mark.parametrize("bad", [-1, 1.5, "2", True])
+def test_run_batch_rejects_bad_retries(bad):
+    with pytest.raises(ValueError, match="retries"):
+        run_batch([_spec()], jobs=2, cache=False, retries=bad)
+
+
+def test_failed_spec_reports_retry_count():
+    f = FailedSpec(_spec(), kind="error", error="boom", attempts=3)
+    assert f.retries == 2
+    assert FailedSpec(_spec(), "error", "boom", attempts=1).retries == 0
+    assert FailedSpec(_spec(), "error", "boom", attempts=0).retries == 0
 
 
 def test_faults_are_part_of_the_cache_key(monkeypatch):

@@ -125,6 +125,55 @@ def test_good_entry_roundtrips_unwarned(tmp_path, warm_entry):
     assert isinstance(res, RunResult) and res.app == "sor"
 
 
+HAS_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+def test_kill_during_envelope_write_never_corrupts(tmp_path):
+    """SIGKILL landing anywhere inside write_envelope leaves either the
+    previous entry or the new one — never a torn file.
+
+    A child rewrites one entry in a tight loop while the parent kills it
+    at an arbitrary point; afterwards the entry must read back clean (or
+    not exist at all, if the first write never completed)."""
+    import multiprocessing
+    import os
+    import signal
+    import time
+    import warnings
+
+    path = tmp_path / "victim.pkl"
+    payload = {"generation": 0, "pad": "x" * 500_000}
+
+    def hammer():
+        i = 0
+        while True:
+            i += 1
+            write_envelope(
+                path, _RESULT_MAGIC, CACHE_FORMAT_VERSION,
+                {**payload, "generation": i},
+            )
+
+    ctx = multiprocessing.get_context("fork")
+    for round_no in range(3):
+        child = ctx.Process(target=hammer, daemon=True)
+        child.start()
+        time.sleep(0.05 * (round_no + 1))
+        os.kill(child.pid, signal.SIGKILL)
+        child.join()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a quarantine would warn
+            try:
+                obj = read_envelope(path, _RESULT_MAGIC, CACHE_FORMAT_VERSION)
+            except FileNotFoundError:
+                continue  # killed before the first rename: still atomic
+        assert obj["generation"] >= 1
+        assert obj["pad"] == payload["pad"]
+    # the only debris a kill may leave is an orphaned temp file
+    leftovers = {p.name for p in tmp_path.iterdir()} - {"victim.pkl"}
+    assert all(name.endswith(".tmp") for name in leftovers)
+
+
 def test_read_envelope_error_messages(tmp_path):
     path = tmp_path / "e.pkl"
     path.write_bytes(b"junk")

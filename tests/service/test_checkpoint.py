@@ -1,0 +1,150 @@
+"""Checkpoint/resume: sliced runs are bit-identical and attested.
+
+The protocol under test (see :mod:`repro.service.checkpoint`): slicing
+the event drain at simulated-time boundaries must not change results;
+every recorded fingerprint must verify on replay; a divergent replay
+must be *refused*, not silently accepted.
+"""
+
+import pytest
+
+from repro.core.batch import ExperimentSpec
+from repro.core.export import result_to_full_dict
+from repro.service.checkpoint import (
+    CheckpointDivergence,
+    CheckpointMismatch,
+    clear_checkpoint,
+    run_with_checkpoints,
+    state_fingerprint,
+)
+from repro.service.journal import Journal, parse_line, record_line
+
+SCALE = 0.05
+EVERY = 1e5  # small enough to yield several checkpoints at test scale
+
+
+def _spec(app="sor", **kw):
+    return ExperimentSpec(app, "nwcache", "naive", data_scale=SCALE, **kw)
+
+
+def _full(res):
+    d = result_to_full_dict(res)
+    # epoch_* extras describe the execution strategy, not the machine;
+    # they sit outside the bit-identity contract (and differ between
+    # sliced and unsliced drains, whose jump limits differ)
+    d["extras"] = {
+        k: v for k, v in d["extras"].items() if not k.startswith("epoch_")
+    }
+    return d
+
+
+@pytest.fixture(scope="module")
+def reference():
+    spec = _spec()
+    return spec, _full(spec.run())
+
+
+# ----------------------------------------------------------- bit identity
+def test_sliced_run_is_bit_identical(tmp_path, reference):
+    spec, ref = reference
+    snaps = []
+    res = run_with_checkpoints(
+        spec, EVERY, tmp_path / "c.ckpt",
+        on_snapshot=lambda k, fp: snaps.append((k, fp)),
+    )
+    assert len(snaps) >= 2, "cadence must produce several checkpoints"
+    assert _full(res) == ref
+
+
+def test_resume_verifies_every_fingerprint(tmp_path, reference):
+    spec, ref = reference
+    path = tmp_path / "c.ckpt"
+    first = []
+    run_with_checkpoints(spec, EVERY, path,
+                         on_snapshot=lambda k, fp: first.append((k, fp)))
+    second = []
+    res = run_with_checkpoints(spec, EVERY, path,
+                               on_snapshot=lambda k, fp: second.append((k, fp)))
+    assert second == first  # replay walked the same attested trajectory
+    assert _full(res) == ref
+
+
+def test_interrupted_run_resumes_bit_identically(tmp_path, reference):
+    """Kill-and-resume oracle at the API level: stop a run partway (as a
+    SIGKILL would), then resume over the surviving journal."""
+    spec, ref = reference
+
+    class Interrupt(Exception):
+        pass
+
+    path = tmp_path / "c.ckpt"
+
+    def bomb(k, fp):
+        if k == 2:
+            raise Interrupt()
+
+    with pytest.raises(Interrupt):
+        run_with_checkpoints(spec, EVERY, path, on_snapshot=bomb)
+    assert Journal(path).replay(), "partial journal must survive"
+    res = run_with_checkpoints(spec, EVERY, path)
+    assert _full(res) == ref
+
+
+def test_divergence_is_refused(tmp_path, reference):
+    spec, _ = reference
+    path = tmp_path / "c.ckpt"
+    run_with_checkpoints(spec, EVERY, path)
+    # corrupt one recorded fingerprint (re-checksummed, so the journal
+    # layer accepts it — only the semantic layer can catch it)
+    journal = Journal(path)
+    records = journal.replay()
+    snap = next(r for r in records if r["type"] == "snap")
+    snap["fp"] = "0" * 64
+    path.write_bytes(b"".join(record_line(r) for r in records))
+    with pytest.raises(CheckpointDivergence, match="diverged"):
+        run_with_checkpoints(spec, EVERY, path)
+
+
+def test_foreign_checkpoint_is_refused(tmp_path, reference):
+    spec, _ = reference
+    path = tmp_path / "c.ckpt"
+    run_with_checkpoints(spec, EVERY, path)
+    with pytest.raises(CheckpointMismatch):
+        run_with_checkpoints(_spec(app="fft"), EVERY, path)
+    with pytest.raises(CheckpointMismatch):
+        run_with_checkpoints(spec, EVERY * 2, path)  # different cadence
+    # resume=False ignores the stale file instead of refusing
+    res = run_with_checkpoints(_spec(app="fft"), EVERY, path, resume=False)
+    assert res.app == "fft"
+
+
+def test_clear_checkpoint(tmp_path, reference):
+    spec, _ = reference
+    path = tmp_path / "c.ckpt"
+    run_with_checkpoints(spec, EVERY, path)
+    assert path.exists()
+    clear_checkpoint(path)
+    assert not path.exists()
+    clear_checkpoint(path)  # idempotent
+
+
+@pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+def test_bad_cadence_is_rejected(tmp_path, bad, reference):
+    spec, _ = reference
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        run_with_checkpoints(spec, bad, tmp_path / "c.ckpt")
+
+
+# ------------------------------------------------------------ fingerprints
+def test_fingerprint_distinguishes_different_states(tmp_path):
+    """Two different cells reach different fingerprints at their first
+    shared boundary (sanity: the digest actually covers the state)."""
+    fps = {}
+    for app in ("sor", "fft"):
+        seen = []
+        run_with_checkpoints(
+            _spec(app=app), EVERY, tmp_path / f"{app}.ckpt",
+            on_snapshot=lambda k, fp, seen=seen: seen.append(fp),
+        )
+        fps[app] = seen[0]
+    assert fps["sor"] != fps["fft"]

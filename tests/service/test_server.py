@@ -1,0 +1,132 @@
+"""The HTTP front end: submit, status, results, streaming progress.
+
+Each test binds an ephemeral-port :class:`SweepServer`, runs its accept
+loop on a thread, and talks plain ``http.client`` — no third-party HTTP
+stack required on either side.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.batch import ExperimentSpec
+from repro.core.cache import ResultCache
+from repro.service import Worker, spec_to_dict
+from repro.service.server import make_sweep_server, summarize_status
+
+SCALE = 0.05
+
+
+def _spec(app="sor", **kw):
+    return ExperimentSpec(app, "nwcache", "naive", data_scale=SCALE, **kw)
+
+
+@pytest.fixture()
+def served(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    server = make_sweep_server(
+        str(tmp_path / "sweep"), port=0, cache=cache, lease_duration=30.0
+    )
+    server.progress_interval = 0.05
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield server, cache
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _request(server, method, path, body=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(
+            method, path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def test_submit_status_result_roundtrip(served):
+    server, cache = served
+    specs = [spec_to_dict(_spec()), spec_to_dict(_spec(app="fft"))]
+    status, body = _request(server, "POST", "/submit", {"specs": specs})
+    assert status == 200
+    keys = body["keys"]
+    assert len(keys) == 2
+
+    # resubmission is idempotent over HTTP too
+    status, body = _request(server, "POST", "/submit", {"specs": specs})
+    assert status == 200 and body["keys"] == keys
+
+    status, body = _request(server, "GET", "/status")
+    assert status == 200
+    assert body["counts"]["pending"] == 2 and not body["settled"]
+    assert "pending" in summarize_status(body)
+
+    # no result before a worker has finished the cell
+    status, body = _request(server, "GET", f"/result/{keys[0]}")
+    assert status == 404
+
+    Worker(server.queue, cache=cache, worker_id="w1").run()
+
+    status, body = _request(server, "GET", "/status")
+    assert status == 200 and body["settled"]
+    assert body["counts"]["done"] == 2
+    assert "settled" in summarize_status(body)
+
+    status, body = _request(server, "GET", f"/result/{keys[0]}")
+    assert status == 200
+    assert body["key"] == keys[0]
+    assert body["result"]["app"] == "sor"
+    assert body["result"]["system"] == "nwcache"
+
+
+def test_bad_requests_are_400_or_404(served):
+    server, _ = served
+    assert _request(server, "POST", "/submit", {"nope": 1})[0] == 400
+    assert _request(server, "POST", "/submit", {"specs": "x"})[0] == 400
+    assert _request(
+        server, "POST", "/submit", {"specs": [{"surprise": 1}]}
+    )[0] == 400
+    assert _request(server, "POST", "/elsewhere", {})[0] == 404
+    assert _request(server, "GET", "/nope")[0] == 404
+    assert _request(server, "GET", "/result/deadbeef")[0] == 404
+
+
+def test_progress_streams_until_settled(served):
+    server, cache = served
+    _request(server, "POST", "/submit", {"specs": [spec_to_dict(_spec())]})
+
+    lines = []
+
+    def consume():
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/progress")
+            resp = conn.getresponse()  # http.client de-chunks for us
+            for raw in resp:
+                if raw.strip():
+                    lines.append(json.loads(raw))
+        finally:
+            conn.close()
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    consumer.start()
+    Worker(server.queue, cache=cache, worker_id="w1").run()
+    consumer.join(timeout=30)
+    assert not consumer.is_alive(), "stream must end once the sweep settles"
+    assert lines, "at least one progress line arrives"
+    assert lines[-1]["settled"] is True
+    assert lines[-1]["counts"]["done"] == 1
+    assert all(set(l) == {"counts", "settled"} for l in lines)
