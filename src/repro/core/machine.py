@@ -481,6 +481,18 @@ class Machine:
                 sum(c.epoch_batches for c in self.cpus)
             )
             extras["epoch_events_jumped"] = float(self.engine.events_jumped)
+            extras["epoch_fault_jumps"] = float(
+                sum(c.epoch_fault_jumps for c in self.cpus)
+            )
+            extras["epoch_ring_jumps"] = float(
+                sum(c.epoch_ring_jumps for c in self.cpus)
+            )
+            extras["epoch_fault_blocked_pressure"] = float(
+                sum(c.epoch_fault_blocked_pressure for c in self.cpus)
+            )
+            extras["epoch_fault_blocked_window"] = float(
+                sum(c.epoch_fault_blocked_window for c in self.cpus)
+            )
             for reason in EPOCH_REJECT_REASONS:
                 extras[f"epoch_rejected_{reason}"] = float(
                     sum(c.epoch_rejects.get(reason, 0) for c in self.cpus)

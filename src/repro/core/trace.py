@@ -181,6 +181,7 @@ class CompiledTrace:
             next_hard = np.minimum.accumulate(hard_marked[::-1])[::-1]
             n_access = self.reads[proc] + self.writes[proc]
             busy_think = n_access * cpa + self.thinks[proc]
+            is_write = self.writes[proc] > 0
             max_run = int((next_boundary - idx).max()) if n else 0
             max_hard_run = int((next_hard - idx).max()) if n else 0
             plan = plans[key] = EpochPlan(
@@ -194,14 +195,21 @@ class CompiledTrace:
                     ((0.0,), np.cumsum(busy_think))
                 ),
                 pages=self.pages[proc],
-                is_write=self.writes[proc] > 0,
+                is_write=is_write,
+                # Prefix counts of write items: write_cum[k] writes in
+                # items [0, k).  A run with no writes needs no dirty-bit
+                # marking at all, which the executor detects with two
+                # lookups instead of a scan (read-only-sharing epochs).
+                write_cum=np.concatenate(
+                    ((0,), np.cumsum(is_write.astype(np.int64)))
+                ),
                 # Plain-list mirrors: the executor's validation and
                 # commit loops walk items one by one with early exits,
                 # where list indexing (no scalar boxing) is much cheaper
                 # than ndarray indexing.  Paid once per plan.
                 pages_list=self.pages[proc].tolist(),
                 busy_list=busy_think.tolist(),
-                write_list=(self.writes[proc] > 0).tolist(),
+                write_list=is_write.tolist(),
                 boundary_list=next_boundary.tolist(),
                 hard_list=next_hard.tolist(),
                 naccess_list=n_access.tolist(),
@@ -252,6 +260,7 @@ class EpochPlan:
     busy_cum: np.ndarray        #: float64 prefix sums, len n + 1
     pages: np.ndarray           #: int64 app-local page ids (alias)
     is_write: np.ndarray        #: bool, True where writes > 0
+    write_cum: np.ndarray       #: int64 prefix counts of writes, len n + 1
     pages_list: list            #: ``pages.tolist()`` (fast scalar access)
     busy_list: list             #: ``busy_think.tolist()``
     write_list: list            #: ``is_write.tolist()``

@@ -27,6 +27,7 @@ from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.config import SimConfig
+from repro.disk.controller import PrefetchMode
 from repro.hw.accounting import CATEGORIES, TimeAccount
 from repro.hw.cache import BLOCK_BYTES, CacheModel
 from repro.hw.network import MeshNetwork
@@ -73,19 +74,48 @@ MAX_EPOCH_ITEMS = 8192
 #:   and the contended step was not applicable (static plan gutted)
 #: * ``tlb_cap``       — the run's distinct pages overflow the TLB, so
 #:   the first-occurrence replay proof no longer holds
-#: * ``shared_dirty``  — the page is in motion on another processor
-#:   (INFLIGHT/SWAPPING/RING): genuine cross-processor interference
+#: * ``shared_dirty``  — the page is in motion with a payload another
+#:   processor must not lose: INFLIGHT (being fetched elsewhere) or
+#:   SWAPPING with the dirty bit set — genuine write-sharing traffic
+#: * ``shared_clean``  — the page is SWAPPING but *clean*: read-only
+#:   sharing caught mid-eviction.  The refault must still wait out the
+#:   eviction's queued shootdown-window timeout (a real queued event),
+#:   so the step cannot jump it — but the split keeps clean sharing
+#:   from being misread as write interference in the profile
+#: * ``ring_transit``  — the page is circulating on the optical ring
+#:   and the batched ring-snoop chain could not claim/prove it
 #: * ``contended_pipe``— a required clock jump would be refused (queued
 #:   events before the target, bus/mesh occupied, or run-limit/horizon)
-#: * ``fault_boundary``— the page is ABSENT: a real page fault must run
-#:   through the evented slow path
+#: * ``fault_boundary``— the page is ABSENT and the batched fault chain
+#:   could not be proven: the fault runs through the evented slow path
 EPOCH_REJECT_REASONS = (
     "window_miss",
     "tlb_cap",
     "shared_dirty",
+    "shared_clean",
+    "ring_transit",
     "contended_pipe",
     "fault_boundary",
 )
+
+
+def _reject_reason(entry: Any, st: Any) -> str:
+    """Classify a not-plainly-usable page against live table state.
+
+    ``st`` is ``entry.state`` (passed in because every caller already
+    has it).  MEMORY means the page was fine in the table but missed the
+    resident window; the in-motion states split on the live dirty bit so
+    the profiler separates write interference from read-only sharing.
+    """
+    if st is PageState.MEMORY:
+        return "window_miss"
+    if st is PageState.ABSENT:
+        return "fault_boundary"
+    if st is PageState.RING:
+        return "ring_transit"
+    if st is PageState.INFLIGHT or entry.dirty:
+        return "shared_dirty"
+    return "shared_clean"
 
 #: stream item types
 Item = Tuple[Any, ...]
@@ -129,6 +159,19 @@ class Cpu:
         self.epoch_attempted = 0
         self.epoch_accepted = 0
         self.epoch_rejects: Dict[str, int] = {}
+        #: faults resolved as one batched jump chain inside a contended
+        #: step (disk fetch / ring snoop), instead of the evented cascade
+        self.epoch_fault_jumps = 0
+        self.epoch_ring_jumps = 0
+        #: batched fault/ring chains refused because the frame pool was
+        #: under pressure (empty, at the low watermark, or leaving a
+        #: deficit for the armed replacement daemon) — the genuinely
+        #: unbatchable eviction regime
+        self.epoch_fault_blocked_pressure = 0
+        #: batched fault/ring chains refused because another event or
+        #: transfer occupied the chain's jump window (busy pipe or link,
+        #: pending settle, queued event before the final target)
+        self.epoch_fault_blocked_window = 0
         self._epoch_skip = 0
 
     # -- lazy time ---------------------------------------------------------
@@ -777,12 +820,8 @@ class Cpu:
                         continue
                 # This page would miss (or fault): the epoch ends
                 # strictly before its first occurrence.
-                st = table[g].state
-                reason = (
-                    "window_miss" if st is MEMORY
-                    else "fault_boundary" if st is PageState.ABSENT
-                    else "shared_dirty"
-                )
+                entry = table[g]
+                reason = _reject_reason(entry, entry.state)
                 valid = chron_off[k]
                 del chron_pages[k:], chron_off[k:]
                 break
@@ -810,12 +849,8 @@ class Cpu:
                         chron_off.append(off)
                         homes.append(entry.node)
                         continue
-                st = table[g].state
-                reason = (
-                    "window_miss" if st is MEMORY
-                    else "fault_boundary" if st is PageState.ABSENT
-                    else "shared_dirty"
-                )
+                entry = table[g]
+                reason = _reject_reason(entry, entry.state)
                 valid = off
                 break
         if valid < MIN_EPOCH_ITEMS:
@@ -943,11 +978,16 @@ class Cpu:
             entries[g] = h
             move_res(g)
             vres[home_of[g]].touch(g)
-        if c >= EPOCH_VECTOR_MIN_ITEMS:
+        write_cum = plan.write_cum
+        if write_cum[i + c] == write_cum[i]:
+            # Read-only-sharing epoch: no item writes, so no dirty bit
+            # can change — skip the marking scan entirely (two prefix
+            # lookups instead of O(c) work).
+            pass
+        elif c >= EPOCH_VECTOR_MIN_ITEMS:
             wr = plan.is_write[i:i + c]
-            if wr.any():
-                for p in np.unique(seg_c[wr]).tolist():
-                    table[page_base + p].dirty = True
+            for p in np.unique(seg_c[wr]).tolist():
+                table[page_base + p].dirty = True
         else:
             write_list = plan.write_list
             dirty_done = set()
@@ -1042,20 +1082,19 @@ class Cpu:
         table = vm.table
         tlb = vm.tlbs[node]
         entries = tlb._entries
-        # First-item fault gate, ahead of the full local hoist below: on
-        # eviction-heavy traces most rejected attempts die immediately on
-        # a page that is absent or mid-flight, and the gate's
+        # First-item sharing gate, ahead of the full local hoist below:
+        # on eviction-heavy traces many rejected attempts die immediately
+        # on a page mid-flight on another processor, and the gate's
         # classification is byte-for-byte the loop's own first-item arm.
+        # ABSENT and RING pages fall through — the loop's batched fault
+        # pipelines may absorb them.
         g0 = page_base + plan.pages_list[i]
         if g0 not in entries:
-            st0 = table[g0].state
-            if st0 is not PageState.MEMORY:
+            ent0 = table[g0]
+            st0 = ent0.state
+            if st0 is PageState.INFLIGHT or st0 is PageState.SWAPPING:
                 self._epoch_skip = i + 1
-                r = (
-                    "fault_boundary"
-                    if st0 is PageState.ABSENT
-                    else "shared_dirty"
-                )
+                r = _reject_reason(ent0, st0)
                 self.epoch_rejects[r] = self.epoch_rejects.get(r, 0) + 1
                 return 0
         equeue = engine._queue
@@ -1107,12 +1146,31 @@ class Cpu:
                 ent = table[g]
                 st = ent.state
                 if st is not MEMORY:
+                    if st is ABSENT or st is PageState.RING:
+                        # A real fault: attempt the whole resolve chain
+                        # (page walk, disk/ring service, bus crossings,
+                        # daemon kicks, refill) as one proven ascending
+                        # jump sequence — the batched fault pipeline.
+                        batched = (
+                            self._batched_fault
+                            if st is ABSENT
+                            else self._batched_ring
+                        )(
+                            g, ent, write_list[off], busy_list[off],
+                            nacc_list[off], psum, po, ptlb, ao, atl,
+                            stolen_rem,
+                        )
+                        if batched is not None:
+                            psum, po, ptlb, ao, atl, stolen_rem = batched
+                            now = engine._now
+                            off += 1
+                            if psum >= FLUSH_QUANTUM_PCYCLES:
+                                break
+                            continue
                     # Stop *before* the item: nothing committed yet for
                     # it, so the per-item arm redoes the classification
                     # and takes the slow path.
-                    reason = (
-                        "fault_boundary" if st is ABSENT else "shared_dirty"
-                    )
+                    reason = _reject_reason(ent, st)
                     break
                 home = ent.node
             else:
@@ -1272,6 +1330,538 @@ class Cpu:
         self.epoch_batches += 1
         self.epoch_accepted += 1
         return c
+
+    def _batched_fault(
+        self,
+        g: int,
+        ent: Any,
+        wr: bool,
+        v: float,
+        na: int,
+        psum: float,
+        po: float,
+        ptlb: float,
+        ao: float,
+        atl: float,
+        stolen_rem: float,
+    ) -> Optional[Tuple[float, float, float, float, float, float]]:
+        """Resolve an ABSENT page as one batched jump chain, if provable.
+
+        Collapses the per-item arm's fault cascade — pending flush, frame
+        allocation, daemon kicks, control message, controller service,
+        I/O + memory bus crossings, page installation, cache refill — into
+        the exact ascending sequence of clock jumps the evented path would
+        produce, then executes it through the real jump calls (identical
+        busy integrals, byte counts, latency tallies, event ids).  Runs
+        yield-free inside :meth:`_contended_step`, so the proof cannot go
+        stale mid-chain.  Returns the updated pending-time working copies
+        ``(psum, po, ptlb, ao, atl, stolen_rem)``, or ``None`` without
+        touching anything when any link cannot be proven uncontended:
+
+        * the frame pool is empty, the allocation would fire the
+          low-watermark event, or it would leave a frame deficit for the
+          armed replacement daemon (whose wake must stay a no-op re-park
+          — under steady frame pressure this is the honest blocker);
+        * the controller cannot answer synchronously: only OPTIMAL mode,
+          or a plain NAIVE/STREAM cache hit that spawns no prefetch
+          process, collapses;
+        * a settle event is pending on the entry, a pipe or mesh link on
+          the route is busy, or a queued event falls at or before the
+          chain's final target (``Engine.try_jump``'s own refusal rule —
+          targets ascend, so checking the last covers every jump).
+
+        The daemon kicks are accounted *virtually*: a proven-no-op wake
+        costs the same one event id / processed count the evented wake
+        would, but the daemon stays parked on its existing event — a
+        substitute event would orphan the real generator's callback.
+        """
+        engine = self.engine
+        node = self.node
+        vm = self.vm
+        cfg = self.cfg
+        pool = vm.pools[node]
+        free = pool._free
+        if not free:
+            self.epoch_fault_blocked_pressure += 1
+            return None
+        lw = pool._low_watermark_event
+        if (
+            lw is not None
+            and not lw.triggered
+            and (len(free) - 1) < pool.min_free
+        ):
+            self.epoch_fault_blocked_pressure += 1
+            return None
+        se = ent._settle
+        if se is not None and not se.triggered:
+            self.epoch_fault_blocked_window += 1
+            return None
+        dw = vm._daemon_wakes[node]
+        kick = dw is not None and not dw.triggered
+        if kick and (pool.min_free + len(pool._waiters)) > (
+            (len(free) - 1) + vm._pending_free[node]
+        ):
+            # The post-alloc deficit would make the woken daemon evict:
+            # a genuine eviction cascade, not a jumpable no-op.
+            self.epoch_fault_blocked_pressure += 1
+            return None
+        swap = vm.swap
+        ctrl = swap.controller_of(g)
+        io_node = swap.io_node_of(g)
+        mode = ctrl.prefetch
+        stream_hit = False
+        if mode is not PrefetchMode.OPTIMAL:
+            # NAIVE/STREAM collapse only on a plain cache hit: present,
+            # not under an in-flight prefetch, and (STREAM) not part of a
+            # detected sequential run — a streaming hit spawns a prefetch
+            # process, which is real event scheduling.
+            if g not in ctrl._slots or g in ctrl._inflight_prefetch:
+                self.epoch_fault_blocked_window += 1
+                return None
+            if mode is PrefetchMode.STREAM:
+                hist = ctrl._read_history
+                if g - 1 in hist or g - 2 in hist:
+                    self.epoch_fault_blocked_window += 1
+                    return None
+                stream_hit = True
+        cache = self.cache
+        if g in cache._resident:  # pragma: no cover - ABSENT pages are
+            return None           # shot down from every window
+        page_size = cache._page_size
+        mb = max(cache._cold_miss_bytes, min(page_size, na * BLOCK_BYTES))
+        mb = min(mb, page_size)
+        psize = cfg.page_size
+        io_bus = vm.io_buses[io_node]
+        srv = io_bus._server
+        if srv.users or srv.queue:
+            self.epoch_fault_blocked_window += 1
+            return None
+        mem_bus = self.mem_buses[node]
+        srv = mem_bus._server
+        if srv.users or srv.queue:
+            self.epoch_fault_blocked_window += 1
+            return None
+        net = self.network
+        rc = net._route_cache
+        out = rc.get((node, io_node))
+        if out is None:
+            out = net._route_entry(node, io_node)
+        links_out, fixed_out, hops_out = out
+        for res in links_out:
+            if res.users or res.queue:
+                self.epoch_fault_blocked_window += 1
+                return None
+        remote = io_node != node
+        if remote:
+            mem_bus_io = self.mem_buses[io_node]
+            srv = mem_bus_io._server
+            if srv.users or srv.queue:
+                self.epoch_fault_blocked_window += 1
+                return None
+            back = rc.get((io_node, node))
+            if back is None:
+                back = net._route_entry(io_node, node)
+            links_back, fixed_back, hops_back = back
+            for res in links_back:
+                if res.users or res.queue:
+                    self.epoch_fault_blocked_window += 1
+                    return None
+        # -- the ascending target chain, reproduced add by add
+        stolen = self._stolen
+        tlb_miss = cfg.tlb_miss_pcycles
+        tot = psum + tlb_miss
+        if stolen_rem:
+            for sv in stolen.values():
+                if sv:
+                    tot = tot + sv
+        now = engine._now
+        t = now + tot if tot > 0.0 else now
+        nlr = net._link_rate
+        cm = cfg.control_msg_bytes
+        t = t + (fixed_out + cm / nlr if hops_out else fixed_out)
+        t = t + cfg.controller_overhead_pcycles
+        t = t + (io_bus.overhead + psize / io_bus.rate)
+        if remote:
+            t = t + (mem_bus_io.overhead + psize / mem_bus_io.rate)
+            t = t + (fixed_back + psize / nlr if hops_back else fixed_back)
+        t = t + (mem_bus.overhead + psize / mem_bus.rate)
+        t = t + v
+        if mb:
+            t = t + (mem_bus.overhead + mb / mem_bus.rate)
+        equeue = engine._queue
+        if (equeue and equeue[0][0] <= t) or t > engine._limit:
+            self.epoch_fault_blocked_window += 1
+            return None
+        # -- commit, in kernel order: fast_access's miss bookkeeping ...
+        tlb = vm.tlbs[node]
+        tlb._misses += 1
+        ptlb += tlb_miss
+        psum += tlb_miss
+        pending = self._pending
+        acct_times = self.acct.times
+        try_jump = engine.try_jump
+        # ... the pre-resolve flush (fold + jump + drain) ...
+        if stolen_rem:
+            for cat, sv in stolen.items():
+                if sv:
+                    if cat == "other":
+                        po += sv
+                    elif cat == "tlb":
+                        ptlb += sv
+                    else:
+                        pending[cat] += sv
+                    psum += sv
+                    stolen[cat] = 0.0
+            self._stolen_sum = 0.0
+            stolen_rem = 0.0
+        if psum > 0.0:
+            if not try_jump(psum, 1):
+                raise RuntimeError("batched fault: proven flush jump refused")
+            for cat, pv in pending.items():
+                if pv and cat != "other" and cat != "tlb":
+                    acct_times[cat] += pv
+                    pending[cat] = 0.0
+            if ptlb:
+                atl += ptlb
+                ptlb = 0.0
+            if po:
+                ao += po
+                po = 0.0
+            psum = 0.0
+        # ... resolve's disk fetch, collapsed ...
+        frame = free.popleft()
+        pool.stall.record(0.0)
+        pool._notify_low()  # proven silent
+        if kick:  # virtual daemon kick #1 (proven no-op re-park)
+            engine.events_processed += 1
+            engine.events_jumped += 1
+            next(engine._eid)
+        ent.to_inflight(node)
+        t0 = engine._now
+        if not net.try_jump_transfer(node, io_node, cm):
+            raise RuntimeError(
+                "batched fault: proven control-message jump refused"
+            )
+        if not try_jump(cfg.controller_overhead_pcycles, 1):
+            raise RuntimeError("batched fault: proven controller jump refused")
+        if mode is PrefetchMode.OPTIMAL:
+            ctrl.note_optimal_read(g)
+        else:
+            # ctrl.read's cache-hit arm, collapsed (conditions above).
+            if stream_hit:
+                ctrl._read_history.append(g)
+            ctrl._slots.move_to_end(g)
+            ctrl.stats.add("read_hits")
+        if not io_bus.try_jump_transfer(psize):
+            raise RuntimeError("batched fault: proven I/O bus jump refused")
+        if remote:
+            if not mem_bus_io.try_jump_transfer(psize):
+                raise RuntimeError(
+                    "batched fault: proven remote bus jump refused"
+                )
+            if not net.try_jump_transfer(io_node, node, psize):
+                raise RuntimeError("batched fault: proven mesh jump refused")
+        if not mem_bus.try_jump_transfer(psize):
+            raise RuntimeError(
+                "batched fault: proven memory bus jump refused"
+            )
+        ent.to_memory(node, frame, dirty=False)
+        vm.resident[node].insert(g)
+        now = engine._now
+        latency = now - t0
+        self.acct.charge("fault", latency)
+        metrics = vm.metrics
+        counts = metrics.counts
+        counts.add("faults")
+        metrics.fault_latency.record(latency)
+        counts.add("disk_cache_hits")
+        metrics.disk_hit_latency.record(latency)
+        if kick:  # virtual daemon kick #2
+            engine.events_processed += 1
+            engine.events_jumped += 1
+            next(engine._eid)
+        # ... the fault loop's MEMORY arm: install, touch, mark dirty ...
+        entries = tlb._entries
+        if len(entries) >= tlb.n_entries:
+            del entries[next(iter(entries))]
+            tlb._evictions += 1
+        entries[g] = node
+        vm.resident[node].touch(g)
+        if wr:
+            ent.dirty = True
+        # ... and the per-item arm's tail: slow access + cache refill.
+        self.stats.add("slow_accesses", 1)
+        cache._misses += 1
+        resident = cache._resident
+        resident[g] = None
+        while len(resident) > cache._window:
+            resident.popitem(last=False)
+        po += v
+        psum += v
+        if mb:
+            if psum > 0.0:
+                if not try_jump(psum, 1):
+                    raise RuntimeError(
+                        "batched fault: proven refill flush jump refused"
+                    )
+                for cat, pv in pending.items():
+                    if pv and cat != "other" and cat != "tlb":
+                        acct_times[cat] += pv
+                        pending[cat] = 0.0
+                if ptlb:
+                    atl += ptlb
+                    ptlb = 0.0
+                if po:
+                    ao += po
+                    po = 0.0
+                psum = 0.0
+            t0 = engine._now
+            if not mem_bus.try_jump_transfer(mb):
+                raise RuntimeError(
+                    "batched fault: proven refill bus jump refused"
+                )
+            ao += engine._now - t0
+        self.epoch_fault_jumps += 1
+        return (psum, po, ptlb, ao, atl, stolen_rem)
+
+    def _batched_ring(
+        self,
+        g: int,
+        ent: Any,
+        wr: bool,
+        v: float,
+        na: int,
+        psum: float,
+        po: float,
+        ptlb: float,
+        ao: float,
+        atl: float,
+        stolen_rem: float,
+    ) -> Optional[Tuple[float, float, float, float, float, float]]:
+        """Snoop a RING page off its cache channel as one batched chain.
+
+        The ring-snoop analogue of :meth:`_batched_fault`: claim the page
+        from the drain FIFO, wait out the ring alignment, cross the local
+        I/O and memory buses, install the (dirty) page — all as proven
+        clock jumps with the same protocol and virtual-kick accounting.
+        Returns the updated working copies or ``None`` untouched.  Extra
+        refusals beyond the fault chain's: victim caching off, the page no
+        longer claimable (the drain got to it first), or a swap-out
+        waiting on the channel's slot (``remove`` would wake it — real
+        event scheduling).
+        """
+        cfg = self.cfg
+        if not cfg.victim_caching:
+            return None
+        engine = self.engine
+        node = self.node
+        vm = self.vm
+        swap = vm.swap
+        ring = swap.ring
+        ch_idx = ent.ring_channel
+        if ring is None or ch_idx is None:
+            return None
+        iface = swap.interfaces.get(swap.io_node_of(g))
+        if iface is None:
+            return None
+        # Non-mutating claim check: the drain FIFO must still hold the
+        # page, so the commit's real try_claim below cannot refuse.
+        fifo = iface._fifos.get(ch_idx)
+        if not fifo:
+            self.epoch_fault_blocked_window += 1
+            return None
+        for queued in fifo:
+            if queued[0] == g:
+                break
+        else:
+            self.epoch_fault_blocked_window += 1
+            return None
+        pool = vm.pools[node]
+        free = pool._free
+        if not free:
+            self.epoch_fault_blocked_pressure += 1
+            return None
+        lw = pool._low_watermark_event
+        if (
+            lw is not None
+            and not lw.triggered
+            and (len(free) - 1) < pool.min_free
+        ):
+            self.epoch_fault_blocked_pressure += 1
+            return None
+        se = ent._settle
+        if se is not None and not se.triggered:
+            self.epoch_fault_blocked_window += 1
+            return None
+        dw = vm._daemon_wakes[node]
+        kick = dw is not None and not dw.triggered
+        if kick and (pool.min_free + len(pool._waiters)) > (
+            (len(free) - 1) + vm._pending_free[node]
+        ):
+            self.epoch_fault_blocked_pressure += 1
+            return None
+        channel = ring.channels[ch_idx]
+        if channel._slot_waiters:
+            self.epoch_fault_blocked_window += 1
+            return None
+        cache = self.cache
+        if g in cache._resident:  # pragma: no cover - RING pages are
+            return None           # shot down from every window
+        page_size = cache._page_size
+        mb = max(cache._cold_miss_bytes, min(page_size, na * BLOCK_BYTES))
+        mb = min(mb, page_size)
+        psize = cfg.page_size
+        io_bus = vm.io_buses[node]
+        srv = io_bus._server
+        if srv.users or srv.queue:
+            self.epoch_fault_blocked_window += 1
+            return None
+        mem_bus = self.mem_buses[node]
+        srv = mem_bus._server
+        if srv.users or srv.queue:
+            self.epoch_fault_blocked_window += 1
+            return None
+        # -- ascending targets: flush, ring alignment, two bus crossings
+        stolen = self._stolen
+        tlb_miss = cfg.tlb_miss_pcycles
+        tot = psum + tlb_miss
+        if stolen_rem:
+            for sv in stolen.values():
+                if sv:
+                    tot = tot + sv
+        now = engine._now
+        t = now + tot if tot > 0.0 else now
+        # read_delay exactly as the channel will compute it *after* the
+        # flush jump (the alignment is phase-relative to the live clock).
+        phase = channel._pages[g]
+        t = t + ((phase - t) % channel.round_trip + channel.insertion_time())
+        t = t + (io_bus.overhead + psize / io_bus.rate)
+        t = t + (mem_bus.overhead + psize / mem_bus.rate)
+        t = t + v
+        if mb:
+            t = t + (mem_bus.overhead + mb / mem_bus.rate)
+        equeue = engine._queue
+        if (equeue and equeue[0][0] <= t) or t > engine._limit:
+            self.epoch_fault_blocked_window += 1
+            return None
+        # -- commit, in kernel order (see _batched_fault)
+        tlb = vm.tlbs[node]
+        tlb._misses += 1
+        ptlb += tlb_miss
+        psum += tlb_miss
+        pending = self._pending
+        acct_times = self.acct.times
+        try_jump = engine.try_jump
+        if stolen_rem:
+            for cat, sv in stolen.items():
+                if sv:
+                    if cat == "other":
+                        po += sv
+                    elif cat == "tlb":
+                        ptlb += sv
+                    else:
+                        pending[cat] += sv
+                    psum += sv
+                    stolen[cat] = 0.0
+            self._stolen_sum = 0.0
+            stolen_rem = 0.0
+        if psum > 0.0:
+            if not try_jump(psum, 1):
+                raise RuntimeError(
+                    "batched ring snoop: proven flush jump refused"
+                )
+            for cat, pv in pending.items():
+                if pv and cat != "other" and cat != "tlb":
+                    acct_times[cat] += pv
+                    pending[cat] = 0.0
+            if ptlb:
+                atl += ptlb
+                ptlb = 0.0
+            if po:
+                ao += po
+                po = 0.0
+            psum = 0.0
+        frame = free.popleft()
+        pool.stall.record(0.0)
+        pool._notify_low()  # proven silent
+        if kick:  # virtual daemon kick #1
+            engine.events_processed += 1
+            engine.events_jumped += 1
+            next(engine._eid)
+        if not iface.try_claim(ch_idx, g):
+            raise RuntimeError("batched ring snoop: proven claim refused")
+        # _fault_from_ring, collapsed
+        ent.to_inflight(node)
+        t0 = engine._now
+        if not try_jump(channel.read_delay(g), 1):
+            raise RuntimeError("batched ring snoop: proven ring jump refused")
+        if not io_bus.try_jump_transfer(psize):
+            raise RuntimeError(
+                "batched ring snoop: proven I/O bus jump refused"
+            )
+        if not mem_bus.try_jump_transfer(psize):
+            raise RuntimeError(
+                "batched ring snoop: proven memory bus jump refused"
+            )
+        channel.remove(g)
+        # The disk copy is stale, so the page re-enters memory dirty.
+        ent.to_memory(node, frame, dirty=True)
+        vm.resident[node].insert(g)
+        now = engine._now
+        dt = now - t0
+        self.acct.charge("fault", dt)
+        metrics = vm.metrics
+        counts = metrics.counts
+        counts.add("faults")
+        counts.add("ring_hits")
+        metrics.ring_hit_latency.record(dt)
+        metrics.fault_latency.record(dt)
+        if kick:  # virtual daemon kick #2
+            engine.events_processed += 1
+            engine.events_jumped += 1
+            next(engine._eid)
+        # resolve's MEMORY arm + the per-item tail (see _batched_fault)
+        entries = tlb._entries
+        if len(entries) >= tlb.n_entries:
+            del entries[next(iter(entries))]
+            tlb._evictions += 1
+        entries[g] = node
+        vm.resident[node].touch(g)
+        if wr:
+            ent.dirty = True
+        self.stats.add("slow_accesses", 1)
+        cache._misses += 1
+        resident = cache._resident
+        resident[g] = None
+        while len(resident) > cache._window:
+            resident.popitem(last=False)
+        po += v
+        psum += v
+        if mb:
+            if psum > 0.0:
+                if not try_jump(psum, 1):
+                    raise RuntimeError(
+                        "batched ring snoop: proven refill flush jump refused"
+                    )
+                for cat, pv in pending.items():
+                    if pv and cat != "other" and cat != "tlb":
+                        acct_times[cat] += pv
+                        pending[cat] = 0.0
+                if ptlb:
+                    atl += ptlb
+                    ptlb = 0.0
+                if po:
+                    ao += po
+                    po = 0.0
+                psum = 0.0
+            t0 = engine._now
+            if not mem_bus.try_jump_transfer(mb):
+                raise RuntimeError(
+                    "batched ring snoop: proven refill bus jump refused"
+                )
+            ao += engine._now - t0
+        self.epoch_ring_jumps += 1
+        return (psum, po, ptlb, ao, atl, stolen_rem)
 
     def _epoch_quanta(
         self,

@@ -176,6 +176,32 @@ class Journal:
                 ) from exc
         return records
 
+    def _rewrite_unlocked(self, records: List[Dict[str, Any]]) -> None:
+        """Replace the journal's contents (tmp + fsync + rename).
+
+        Caller must hold the journal lock.  Readers racing the rename
+        see either the old or the new journal, never a mixture.
+        """
+        import tempfile
+
+        data = b"".join(record_line(r) for r in records)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".jtmp")
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        fsync_directory(self.path.parent)
+
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.replay())
 
@@ -192,25 +218,5 @@ def atomic_rewrite(journal: Journal, records: List[Dict[str, Any]]) -> None:
     Used for compaction; readers racing the rename see either the old
     or the new journal, never a mixture.
     """
-    import tempfile
-
-    data = b"".join(record_line(r) for r in records)
-    journal.path.parent.mkdir(parents=True, exist_ok=True)
     with locked(journal.lock_path):
-        fd, tmp = tempfile.mkstemp(
-            dir=journal.path.parent, suffix=".jtmp"
-        )
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        try:
-            os.replace(tmp, journal.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        fsync_directory(journal.path.parent)
+        journal._rewrite_unlocked(records)

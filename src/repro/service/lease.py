@@ -166,6 +166,9 @@ class SweepState:
                 self.cells[key] = SpecState(key=key, spec=rec["spec"])
                 self.order.append(key)
             return
+        if rtype == "snapshot":
+            self._apply_snapshot(rec)
+            return
         cell = self.cells.get(rec.get("key"))
         if cell is None:
             return
@@ -223,6 +226,57 @@ class SweepState:
             cell.lease_attempt = attempt
             cell.lease_expires = expires
 
+    def _apply_snapshot(self, rec: Dict[str, Any]) -> None:
+        """Fold a compaction snapshot (see :func:`snapshot_record`).
+
+        A snapshot opening a compacted journal simply *is* the cell's
+        state.  The merge below is monotone for the same reason every
+        other fold is — ``done`` absorbs, counters only grow, marks are
+        unions, lease arbitration is ordered — so replaying a snapshot
+        twice, or merging one with live records that raced the
+        compaction, never resurrects concluded work.
+        """
+        key = rec["key"]
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = SpecState(key=key, spec=rec["spec"])
+            self.cells[key] = cell
+            self.order.append(key)
+        cell.attempts = max(cell.attempts, int(rec["attempts"]))
+        cell.not_before = max(cell.not_before, float(rec["not_before"]))
+        cell.done_marks |= {(w, int(a)) for w, a in rec["done"]}
+        cell.executed_marks |= {(w, int(a)) for w, a in rec["executed"]}
+        cell.fail_marks |= {(w, int(a)) for w, a in rec["fail"]}
+        if rec.get("last_error"):
+            cell.last_error = str(rec["last_error"])
+        status = rec["status"]
+        if cell.status != DONE:
+            if status == DONE:
+                cell.status = DONE
+                cell.worker = None
+            elif status == FAILED:
+                cell.status = FAILED
+                cell.worker = None
+            elif status == LEASED and cell.status != FAILED:
+                self._apply_lease(
+                    cell,
+                    {
+                        "worker": rec["worker"],
+                        "attempt": rec["lease_attempt"],
+                        "expires": rec["lease_expires"],
+                    },
+                )
+        if cell.status != LEASED:
+            # restore the (stale, but replay-visible) lease bookkeeping
+            # of concluded cells so compaction is byte-for-byte exact;
+            # a *live* lease's fields stay whatever arbitration decided
+            cell.lease_attempt = max(
+                cell.lease_attempt, int(rec["lease_attempt"])
+            )
+            cell.lease_expires = max(
+                cell.lease_expires, float(rec["lease_expires"])
+            )
+
     def _apply_fail(self, cell: SpecState, rec: Dict[str, Any]) -> None:
         worker, attempt = rec["worker"], int(rec["attempt"])
         mark = (worker, attempt)
@@ -275,6 +329,31 @@ class SweepState:
         return None
 
 
+def snapshot_record(cell: SpecState) -> Dict[str, Any]:
+    """One cell's full replay-derived state as a compaction record.
+
+    Appending these (one per cell, in submission order) to an empty
+    journal reproduces the folded state exactly — that equivalence is
+    what lets :meth:`SweepQueue.maybe_compact` rewrite a long journal
+    as ``len(cells)`` lines without changing any future decision.
+    """
+    return {
+        "type": "snapshot",
+        "key": cell.key,
+        "spec": cell.spec,
+        "status": cell.status,
+        "worker": cell.worker,
+        "lease_attempt": cell.lease_attempt,
+        "lease_expires": cell.lease_expires,
+        "attempts": cell.attempts,
+        "not_before": cell.not_before,
+        "last_error": cell.last_error,
+        "done": sorted([w, a] for w, a in cell.done_marks),
+        "executed": sorted([w, a] for w, a in cell.executed_marks),
+        "fail": sorted([w, a] for w, a in cell.fail_marks),
+    }
+
+
 def replay_state(journal: Journal) -> SweepState:
     """Fold a journal into a :class:`SweepState`."""
     state = SweepState()
@@ -312,6 +391,12 @@ class SweepQueue:
     backoff_base:
         Base of the exponential re-queue backoff: attempt ``n`` becomes
         claimable ``backoff_base * 2**(n-1)`` seconds after it failed.
+    compact_threshold:
+        Journal line count past which :meth:`maybe_compact` rewrites
+        the journal as one snapshot record per cell.  ``None`` disables
+        compaction.  Long sweeps append every heartbeat and retry, so
+        an uncompacted journal grows without bound while every
+        operation replays all of it.
     """
 
     def __init__(
@@ -320,6 +405,7 @@ class SweepQueue:
         lease_duration: float = 60.0,
         retry_budget: int = 3,
         backoff_base: float = 2.0,
+        compact_threshold: Optional[int] = 4096,
     ) -> None:
         if lease_duration <= 0:
             raise ValueError(
@@ -327,11 +413,17 @@ class SweepQueue:
             )
         if retry_budget < 1:
             raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
+        if compact_threshold is not None and compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1 or None, "
+                f"got {compact_threshold}"
+            )
         self.root = Path(root)
         self.journal = Journal(self.root / JOURNAL_NAME)
         self.lease_duration = float(lease_duration)
         self.retry_budget = int(retry_budget)
         self.backoff_base = float(backoff_base)
+        self.compact_threshold = compact_threshold
 
     # ---------------------------------------------------------------- state
     def state(self) -> SweepState:
@@ -492,6 +584,34 @@ class SweepQueue:
             }
         )
         return terminal
+
+    # ----------------------------------------------------------- compaction
+    def maybe_compact(self) -> bool:
+        """Compact the journal if it has outgrown ``compact_threshold``.
+
+        Rewrites it atomically as one :func:`snapshot_record` per cell
+        (submission order preserved); the replayed state — and thus
+        every future claim, retry, and status decision — is unchanged.
+        Safe to call from any worker or status path at any time: the
+        rewrite happens under the journal's cross-process lock, and a
+        reader racing the rename sees the old or new file, never a mix.
+        Returns True when a rewrite happened.
+        """
+        if self.compact_threshold is None:
+            return False
+        from repro.service.journal import locked
+
+        with locked(self.journal.lock_path):
+            records = self.journal.replay()
+            if len(records) <= self.compact_threshold:
+                return False
+            state = SweepState()
+            for rec in records:
+                state.apply(rec)
+            self.journal._rewrite_unlocked(
+                [snapshot_record(state.cells[key]) for key in state.order]
+            )
+        return True
 
     # -------------------------------------------------------------- results
     def failed_specs(self) -> List[FailedSpec]:

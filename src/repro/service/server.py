@@ -107,6 +107,10 @@ class SweepRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.rstrip("/") or "/"
         if path == "/status":
+            # status is the natural janitor: it replays the whole
+            # journal anyway, so fold it down first if it has outgrown
+            # the queue's threshold
+            self.server.queue.maybe_compact()
             self._send_json(asdict_state(self.server.queue.state()))
         elif path.startswith("/result/"):
             self._get_result(path[len("/result/") :])

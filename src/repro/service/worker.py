@@ -157,6 +157,10 @@ class Worker:
             stats.keys.append(key)
             self._emit("claim", spec, key)
             self._run_cell(stats, key, spec, attempt)
+            # Heartbeats and retries grow the journal forever; fold it
+            # down once it passes the queue's threshold so replay cost
+            # stays bounded over long sweeps.
+            self.queue.maybe_compact()
         stats.drained = self.draining
         return stats
 

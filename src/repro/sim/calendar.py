@@ -1,0 +1,151 @@
+"""A calendar-queue event list with heap-identical ordering.
+
+Selected with ``NWCACHE_ENGINE=calendar`` (see :mod:`repro.sim.engine`),
+this replaces the binary heap behind the engine with time-bucketed
+sorted lists: an item ``(when, priority, eid, event)`` lands in bucket
+``int(when / width)``, buckets keep their items sorted with ``insort``,
+and a small heap of bucket indices finds the earliest non-empty bucket.
+With a well-chosen width each bucket holds a handful of items, so both
+push (``insort`` into a short list) and pop (shift off a short list)
+touch far fewer elements than a sift through a heap spanning the whole
+event horizon.
+
+Two properties matter more than speed:
+
+* **Total-order fidelity.**  Buckets partition items by time, and the
+  per-bucket sort uses the full ``(when, priority, eid)`` tuple — the
+  same tie-break the heap uses — so the pop sequence is *identical* to
+  the heap's.  The engine's bit-identity contract does not bend for the
+  scheduler swap.
+* **List-shaped reads.**  Every consumer peeks via ``queue[0][0]`` /
+  ``if queue`` (the engine drain loops, ``try_jump``, the epoch
+  executor's event-horizon guards), so the queue quacks like the list it
+  replaces: ``__bool__``, ``__len__`` and head indexing are provided and
+  O(1) amortized.
+
+The width adapts: whenever one bucket collects more than
+:data:`_MAX_BUCKET` items the queue re-buckets itself with a width
+aimed at :data:`_TARGET_OCCUPANCY` items per bucket, estimated from the
+time span actually observed.  Rebuilds are O(n log n) but the trigger
+threshold doubles each time the span refuses to split (e.g. thousands
+of events at one instant), so pathological streams degrade to a single
+sorted list instead of thrashing.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import Any, Dict, List, Tuple
+
+Item = Tuple[float, int, int, Any]
+
+#: bucket occupancy that triggers a width shrink + rebuild
+_MAX_BUCKET = 48
+#: occupancy the rebuild aims for
+_TARGET_OCCUPANCY = 8
+
+
+class CalendarQueue:
+    """Time-bucketed event queue; pops in exact heap order (module doc)."""
+
+    __slots__ = ("_buckets", "_bucket_heap", "_width", "_len", "_max_bucket")
+
+    def __init__(self, width: float = 1024.0) -> None:
+        #: bucket index -> sorted list of items
+        self._buckets: Dict[int, List[Item]] = {}
+        #: min-heap over the indices of non-empty buckets
+        self._bucket_heap: List[int] = []
+        self._width = float(width)
+        self._len = 0
+        self._max_bucket = _MAX_BUCKET
+
+    # -- list-shaped surface -------------------------------------------------
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __getitem__(self, index: int) -> Item:
+        """Head item (index 0 only) — the ``queue[0][0]`` peek idiom."""
+        if index != 0:
+            raise IndexError("calendar queue supports head peek only")
+        heap = self._bucket_heap
+        buckets = self._buckets
+        while heap:
+            lst = buckets.get(heap[0])
+            if lst:
+                return lst[0]
+            heappop(heap)  # pragma: no cover - defensive (no stale entries)
+        raise IndexError("peek into empty calendar queue")
+
+    # -- core ----------------------------------------------------------------
+    def push(self, item: Item) -> None:
+        b = int(item[0] / self._width)
+        lst = self._buckets.get(b)
+        if lst is None:
+            self._buckets[b] = [item]
+            heappush(self._bucket_heap, b)
+        else:
+            insort(lst, item)
+            if len(lst) > self._max_bucket:
+                self._len += 1
+                self._shrink(lst)
+                return
+        self._len += 1
+
+    def pop(self) -> Item:
+        heap = self._bucket_heap
+        buckets = self._buckets
+        while heap:
+            b = heap[0]
+            lst = buckets.get(b)
+            if lst:
+                item = lst.pop(0)
+                if not lst:
+                    del buckets[b]
+                    heappop(heap)
+                self._len -= 1
+                return item
+            heappop(heap)  # pragma: no cover - defensive (no stale entries)
+        raise IndexError("pop from empty calendar queue")
+
+    # -- width adaptation ----------------------------------------------------
+    def _shrink(self, full: List[Item]) -> None:
+        """One bucket overflowed: re-bucket at a width that splits it."""
+        span = full[-1][0] - full[0][0]
+        if span <= 0.0:
+            # The bucket is a single instant (e.g. a mass release at one
+            # time) — no width can split it.  Back off the trigger so we
+            # do not attempt a futile rebuild on every subsequent push.
+            self._max_bucket *= 2
+            return
+        width = span / _TARGET_OCCUPANCY
+        if width >= self._width:
+            self._max_bucket *= 2
+            return
+        items: List[Item] = []
+        for lst in self._buckets.values():
+            items.extend(lst)
+        buckets: Dict[int, List[Item]] = {}
+        for item in items:
+            key = int(item[0] / width)
+            got = buckets.get(key)
+            if got is None:
+                buckets[key] = [item]
+            else:
+                got.append(item)
+        for lst in buckets.values():
+            lst.sort()
+        heap = list(buckets)
+        heapify(heap)
+        self._buckets = buckets
+        self._bucket_heap = heap
+        self._width = width
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CalendarQueue(len={self._len}, width={self._width}, "
+            f"buckets={len(self._buckets)})"
+        )
